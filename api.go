@@ -1,0 +1,250 @@
+package imagecvg
+
+import (
+	"errors"
+	"math/rand"
+
+	"imagecvg/internal/classifier"
+	"imagecvg/internal/core"
+	"imagecvg/internal/crowd"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// Re-exported substrate types. Aliases keep the public surface small
+// while letting callers hold and construct the underlying values.
+type (
+	// Schema describes the categorical attributes of interest.
+	Schema = pattern.Schema
+	// Attribute is one categorical attribute (name plus value names).
+	Attribute = pattern.Attribute
+	// Pattern identifies a subgroup; Wildcard slots are unspecified.
+	Pattern = pattern.Pattern
+	// Group is a (possibly super-) demographic group.
+	Group = pattern.Group
+	// MUP is a maximal uncovered pattern.
+	MUP = pattern.MUP
+	// Coverage is the covered/uncovered/unknown verdict enum.
+	Coverage = pattern.Coverage
+
+	// Dataset is an ordered collection of objects with hidden labels.
+	Dataset = dataset.Dataset
+	// ObjectID names one object of a dataset.
+	ObjectID = dataset.ObjectID
+	// Preset is a named dataset composition from the paper.
+	Preset = dataset.Preset
+
+	// Oracle answers point, set and reverse-set queries. Implement it
+	// to bridge the auditor to a real crowdsourcing platform.
+	Oracle = core.Oracle
+	// GroupResult reports one group audit.
+	GroupResult = core.GroupResult
+	// MultipleResult reports a Multiple-Coverage audit.
+	MultipleResult = core.MultipleResult
+	// IntersectionalResult reports MUP discovery.
+	IntersectionalResult = core.IntersectionalResult
+	// ClassifierResult reports a classifier-assisted audit.
+	ClassifierResult = core.ClassifierResult
+
+	// SimulatedClassifier realizes a published confusion matrix.
+	SimulatedClassifier = classifier.Simulated
+	// Confusion is a binary confusion matrix with derived metrics.
+	Confusion = classifier.Confusion
+)
+
+// Wildcard is the unspecified pattern slot, written X in the paper.
+const Wildcard = pattern.Wildcard
+
+// Coverage verdicts.
+const (
+	Covered   = pattern.Covered
+	Uncovered = pattern.Uncovered
+	Unknown   = pattern.Unknown
+)
+
+// Re-exported constructors.
+var (
+	// NewSchema builds a validated schema.
+	NewSchema = pattern.NewSchema
+	// BinarySchema builds a single binary attribute schema.
+	BinarySchema = pattern.Binary
+	// NewPattern builds a validated pattern over a schema.
+	NewPattern = pattern.NewPattern
+	// ParsePattern reads the compact "X01" form.
+	ParsePattern = pattern.Parse
+	// GroupOf wraps a single pattern as a group.
+	GroupOf = pattern.GroupOf
+	// GroupsForAttribute lists one group per value of an attribute.
+	GroupsForAttribute = pattern.GroupsForAttribute
+	// SubgroupGroups lists one group per fully-specified subgroup.
+	SubgroupGroups = pattern.SubgroupGroups
+
+	// NewDataset builds a dataset from label vectors.
+	NewDataset = dataset.New
+	// LoadDataset reads a dataset JSON file.
+	LoadDataset = dataset.LoadJSON
+	// GenderSchema is the paper's default single-attribute schema.
+	GenderSchema = dataset.GenderSchema
+	// FemaleGroup / MaleGroup name the two gender groups.
+	FemaleGroup = dataset.Female
+	MaleGroup   = dataset.Male
+
+	// NewTruthOracle answers from ground truth (the paper's synthetic
+	// crowd simulation); useful for testing and benchmarking.
+	NewTruthOracle = core.NewTruthOracle
+
+	// LowerBoundTasks, UpperBoundHITs and UpperBoundTasksLog2 are the
+	// theoretical task bounds of section 3.2.
+	LowerBoundTasks     = core.LowerBoundTasks
+	UpperBoundHITs      = core.UpperBoundHITs
+	UpperBoundTasksLog2 = core.UpperBoundTasksLog2
+
+	// NewSimulatedClassifier derives a classifier from published
+	// accuracy/precision statistics.
+	NewSimulatedClassifier = classifier.NewSimulated
+	// EvaluateClassifier measures a prediction's confusion matrix.
+	EvaluateClassifier = classifier.Evaluate
+)
+
+// Paper dataset presets.
+var (
+	PresetFERETTable1 = dataset.FERETTable1
+	PresetFERETUnique = dataset.FERETUnique
+	PresetUTKFace200  = dataset.UTKFace200
+	PresetUTKFace20   = dataset.UTKFace20
+)
+
+// GenerateBinary creates a shuffled gender dataset with exactly
+// minority females among n objects, seeded deterministically.
+func GenerateBinary(n, minority int, seed int64) (*Dataset, error) {
+	return dataset.BinaryWithMinority(n, minority, rand.New(rand.NewSource(seed)))
+}
+
+// Auditor runs coverage audits with fixed parameters against an
+// oracle. The zero value is not usable; construct with NewAuditor.
+type Auditor struct {
+	oracle  Oracle
+	tau     int
+	setSize int
+	seed    int64
+}
+
+// NewAuditor builds an auditor asking the oracle set queries of at
+// most setSize objects and requiring tau objects for coverage.
+func NewAuditor(o Oracle, tau, setSize int) *Auditor {
+	return &Auditor{oracle: o, tau: tau, setSize: setSize, seed: 1}
+}
+
+// WithSeed fixes the seed of the auditor's internal sampling phases
+// (Multiple-, Intersectional- and Classifier-Coverage).
+func (a *Auditor) WithSeed(seed int64) *Auditor {
+	a.seed = seed
+	return a
+}
+
+// AuditGroup decides whether one group is covered (Algorithm 1).
+func (a *Auditor) AuditGroup(ids []ObjectID, g Group) (GroupResult, error) {
+	return core.GroupCoverage(a.oracle, ids, a.setSize, a.tau, g)
+}
+
+// AuditBaseline decides coverage with the naive point-query scan
+// (Algorithm 7), for cost comparison.
+func (a *Auditor) AuditBaseline(ids []ObjectID, g Group) (GroupResult, error) {
+	return core.BaseCoverage(a.oracle, ids, a.tau, g)
+}
+
+// AuditGroups decides coverage for several groups with the
+// super-group aggregation heuristic (Algorithm 2).
+func (a *Auditor) AuditGroups(ids []ObjectID, groups []Group) (*MultipleResult, error) {
+	return core.MultipleCoverage(a.oracle, ids, a.setSize, a.tau, groups,
+		core.MultipleOptions{Rng: rand.New(rand.NewSource(a.seed))})
+}
+
+// AuditAttribute audits every value of one schema attribute.
+func (a *Auditor) AuditAttribute(ids []ObjectID, s *Schema, attr int) (*MultipleResult, error) {
+	if s == nil || attr < 0 || attr >= s.NumAttrs() {
+		return nil, errors.New("imagecvg: invalid schema attribute")
+	}
+	return a.AuditGroups(ids, pattern.GroupsForAttribute(s, attr))
+}
+
+// AuditIntersectional discovers the maximal uncovered patterns over
+// all attributes of the schema (Algorithm 3).
+func (a *Auditor) AuditIntersectional(ids []ObjectID, s *Schema) (*IntersectionalResult, error) {
+	return core.IntersectionalCoverage(a.oracle, ids, a.setSize, a.tau, s,
+		core.MultipleOptions{Rng: rand.New(rand.NewSource(a.seed))})
+}
+
+// AuditWithClassifier audits one group using a pre-trained
+// classifier's predicted-positive set (Algorithm 4).
+func (a *Auditor) AuditWithClassifier(ids, predicted []ObjectID, g Group) (ClassifierResult, error) {
+	return core.ClassifierCoverage(a.oracle, ids, predicted, a.setSize, a.tau, g,
+		core.ClassifierOptions{Rng: rand.New(rand.NewSource(a.seed))})
+}
+
+// SimulatedCrowd is an Oracle backed by the full crowdsourcing
+// platform simulator: images rendered as glyphs, imperfect workers,
+// redundant assignments, majority vote, and a cost ledger.
+type SimulatedCrowd struct {
+	platform *crowd.Platform
+}
+
+// CrowdOptions tunes the simulated deployment; the zero value uses
+// the paper's setup (3 assignments, $0.10/HIT, 20 % fee, 30 workers).
+type CrowdOptions struct {
+	// Assignments per HIT (default 3).
+	Assignments int
+	// PoolSize is the number of simulated workers (default 30).
+	PoolSize int
+	// Qualification enables a pre-task qualification test.
+	Qualification bool
+	// Rating enables the reputation filter (>=95 %, >=100 HITs).
+	Rating bool
+}
+
+// NewSimulatedCrowd builds a simulated crowd over the dataset.
+func NewSimulatedCrowd(ds *Dataset, seed int64, opts CrowdOptions) (*SimulatedCrowd, error) {
+	cfg := crowd.DefaultConfig(seed)
+	if opts.Assignments > 0 {
+		cfg.Assignments = opts.Assignments
+	}
+	if opts.PoolSize > 0 {
+		cfg.Profile = crowd.DefaultProfile(opts.PoolSize)
+	}
+	if opts.Qualification {
+		cfg.Qualification = crowd.DefaultQualification()
+	}
+	if opts.Rating {
+		cfg.Rating = crowd.DefaultRating()
+	}
+	p, err := crowd.NewPlatform(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulatedCrowd{platform: p}, nil
+}
+
+// SetQuery implements Oracle.
+func (c *SimulatedCrowd) SetQuery(ids []ObjectID, g Group) (bool, error) {
+	return c.platform.SetQuery(ids, g)
+}
+
+// ReverseSetQuery implements Oracle.
+func (c *SimulatedCrowd) ReverseSetQuery(ids []ObjectID, g Group) (bool, error) {
+	return c.platform.ReverseSetQuery(ids, g)
+}
+
+// PointQuery implements Oracle.
+func (c *SimulatedCrowd) PointQuery(id ObjectID) ([]int, error) {
+	return c.platform.PointQuery(id)
+}
+
+// Cost returns the deployment's accumulated cost.
+func (c *SimulatedCrowd) Cost() crowd.LedgerSnapshot {
+	return c.platform.Ledger().Snapshot()
+}
+
+// ResetCost clears the ledger between audits.
+func (c *SimulatedCrowd) ResetCost() {
+	c.platform.Ledger().Reset()
+}

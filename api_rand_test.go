@@ -1,0 +1,6 @@
+package imagecvg
+
+import "math/rand"
+
+// newTestRand returns a deterministic rand source for façade tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

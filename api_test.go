@@ -1,0 +1,236 @@
+package imagecvg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	ds, err := GenerateBinary(10_000, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := NewAuditor(NewTruthOracle(ds), 50, 50)
+	res, err := auditor.AuditGroup(ds.IDs(), FemaleGroup(ds.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered || res.Count != 40 || !res.Exact {
+		t.Errorf("audit = %+v, want exact uncovered 40", res)
+	}
+	base, err := auditor.AuditBaseline(ds.IDs(), FemaleGroup(ds.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Tasks <= res.Tasks {
+		t.Errorf("baseline (%d) should cost more than Group-Coverage (%d)", base.Tasks, res.Tasks)
+	}
+}
+
+func TestAuditorThroughSimulatedCrowd(t *testing.T) {
+	ds := PresetFERETTable1.Generate(newTestRand(2))
+	crowdOracle, err := NewSimulatedCrowd(ds, 3, CrowdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := NewAuditor(crowdOracle, 50, 50)
+	res, err := auditor.AuditGroup(ds.IDs(), FemaleGroup(ds.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Error("FERET slice has 215 females, must be covered at tau=50")
+	}
+	cost := crowdOracle.Cost()
+	if cost.TotalHITs != res.Tasks {
+		t.Errorf("ledger HITs %d != audit tasks %d", cost.TotalHITs, res.Tasks)
+	}
+	if cost.TotalCost <= 0 {
+		t.Error("cost must be positive")
+	}
+	crowdOracle.ResetCost()
+	if crowdOracle.Cost().TotalHITs != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestAuditAttributeAndIntersectional(t *testing.T) {
+	schema, err := NewSchema(
+		Attribute{Name: "gender", Values: []string{"male", "female"}},
+		Attribute{Name: "race", Values: []string{"white", "black"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([][]int, 0, 700)
+	appendN := func(g, r, n int) {
+		for i := 0; i < n; i++ {
+			labels = append(labels, []int{g, r})
+		}
+	}
+	appendN(0, 0, 300)
+	appendN(1, 0, 250)
+	appendN(0, 1, 100)
+	appendN(1, 1, 5) // female-black: the MUP
+	ds, err := NewDataset(schema, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(7)
+
+	multi, err := auditor.AuditAttribute(ds.IDs(), schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multi.Results[0].Covered || !multi.Results[1].Covered {
+		t.Error("both genders are covered in aggregate")
+	}
+	if _, err := auditor.AuditAttribute(ds.IDs(), schema, 9); err == nil {
+		t.Error("bad attribute index: want error")
+	}
+
+	inter, err := auditor.AuditIntersectional(ds.IDs(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundMUP := false
+	for _, m := range inter.MUPs {
+		if m.Pattern.Format(schema) == "gender=female AND race=black" {
+			foundMUP = true
+		}
+	}
+	if !foundMUP {
+		t.Errorf("female-black missing from MUPs: %v", inter.MUPs)
+	}
+}
+
+func TestAuditWithClassifierFacade(t *testing.T) {
+	ds := PresetFERETUnique.Generate(newTestRand(4))
+	g := FemaleGroup(ds.Schema())
+	sim, err := NewSimulatedClassifier("DeepFace (opencv)", 403, 591, 0.7957, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := sim.Predict(ds, g, newTestRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := EvaluateClassifier(ds, g, predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Precision() < 0.98 {
+		t.Errorf("precision = %f", conf.Precision())
+	}
+	auditor := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(6)
+	res, err := auditor.AuditWithClassifier(ds.IDs(), predicted, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Error("403 females must be covered")
+	}
+	direct, err := auditor.AuditGroup(ds.IDs(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks >= direct.Tasks {
+		t.Errorf("classifier-assisted audit (%d) should beat direct (%d)", res.Tasks, direct.Tasks)
+	}
+}
+
+func TestSimulatedCrowdAllQueryKinds(t *testing.T) {
+	ds, err := GenerateBinary(120, 30, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := NewSimulatedCrowd(ds, 22, CrowdOptions{
+		Assignments:   5,
+		PoolSize:      25,
+		Qualification: true,
+		Rating:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	ids := ds.IDs()
+	if _, err := crowd.SetQuery(ids[:10], g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crowd.ReverseSetQuery(ids[:10], g); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := crowd.PointQuery(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := ds.TrueLabels(ids[0])
+	if labels[0] != truth[0] {
+		t.Errorf("point query = %v, truth %v", labels, truth)
+	}
+	snap := crowd.Cost()
+	if snap.SetHITs != 1 || snap.ReverseSetHITs != 1 || snap.PointHITs != 1 {
+		t.Errorf("ledger = %+v", snap)
+	}
+	if snap.Assignments != 15 {
+		t.Errorf("assignments = %d, want 3 HITs x 5", snap.Assignments)
+	}
+}
+
+func TestNewSimulatedCrowdRejectsImpossibleQualityControl(t *testing.T) {
+	ds, err := GenerateBinary(10, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-worker pool where rating thresholds exclude everyone.
+	_, err = NewSimulatedCrowd(ds, 24, CrowdOptions{PoolSize: 1, Rating: true})
+	if err == nil {
+		// Rating may pass a lucky worker; force failure via pool of
+		// spammers and a qualification test instead is racy — accept
+		// either outcome but exercise the code path.
+		t.Skip("single worker happened to pass the rating filter")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	s := GenderSchema()
+	p, err := ParsePattern(s, "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !GroupOf("female", p).Matches([]int{1}) {
+		t.Error("parsed pattern should match female")
+	}
+	if len(GroupsForAttribute(s, 0)) != 2 || len(SubgroupGroups(s)) != 2 {
+		t.Error("group helpers wrong")
+	}
+	if LowerBoundTasks(100, 50) != 2 {
+		t.Error("bound re-export broken")
+	}
+	if UpperBoundHITs(1522, 50, 50) < 114 || UpperBoundHITs(1522, 50, 50) > 116 {
+		t.Error("upper bound re-export broken")
+	}
+	if UpperBoundTasksLog2(100, 50, 10) <= 0 {
+		t.Error("log2 bound re-export broken")
+	}
+}
+
+func TestPresetReexports(t *testing.T) {
+	if PresetFERETTable1.Females != 215 || PresetFERETUnique.Females != 403 ||
+		PresetUTKFace200.Females != 200 || PresetUTKFace20.Females != 20 {
+		t.Error("preset re-exports wrong")
+	}
+}
+
+func TestGroupResultRendering(t *testing.T) {
+	ds, _ := GenerateBinary(100, 10, 8)
+	auditor := NewAuditor(NewTruthOracle(ds), 5, 10)
+	res, err := auditor.AuditGroup(ds.IDs(), FemaleGroup(ds.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "covered") {
+		t.Errorf("rendering = %q", res.String())
+	}
+}

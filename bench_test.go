@@ -1,0 +1,167 @@
+package imagecvg
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation (section 6). Each benchmark regenerates the artifact —
+// the same rows or series the paper reports — through the shared
+// harness in internal/sim and logs the rendered table once, so
+//
+//	go test -bench . -benchtime 1x -v
+//
+// reproduces the entire evaluation. Absolute HIT counts carry
+// simulation randomness; the shapes (who wins, by what factor, where
+// crossovers fall) are asserted by the test suite in internal/sim.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"imagecvg/internal/sim"
+)
+
+const (
+	benchSeed   = 42
+	benchTrials = 2
+)
+
+// logOnce renders each experiment's table at most once per process so
+// repeated b.N iterations do not flood the output.
+var logOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := sim.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	var res fmt.Stringer
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Run(benchSeed, benchTrials)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, logged := logOnce.LoadOrStore(id, true); !logged && res != nil {
+		b.Logf("%s (%s)\n%s", exp.Paper, exp.Description, res)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: female-coverage identification
+// on the FERET slice through the simulated crowd under three
+// quality-control settings (Group-Coverage ~70-80 HITs vs
+// Base-Coverage ~300-400 vs upper bound 115).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2: Classifier-Coverage against
+// standalone Group-Coverage for the nine published
+// (dataset, classifier) configurations.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFigure6a regenerates Figure 6a: drowsiness-detection
+// accuracy/loss disparity against spectacled subjects as coverage is
+// restored.
+func BenchmarkFigure6a(b *testing.B) { benchExperiment(b, "figure6a") }
+
+// BenchmarkFigure6b regenerates Figure 6b: gender-detection disparity
+// against Black subjects as coverage is restored.
+func BenchmarkFigure6b(b *testing.B) { benchExperiment(b, "figure6b") }
+
+// BenchmarkFigure7a regenerates Figure 7a: tasks vs number of group
+// members f in [0, 2*tau] at N=100K (cost peaks at f ~ tau).
+func BenchmarkFigure7a(b *testing.B) { benchExperiment(b, "figure7a") }
+
+// BenchmarkFigure7b regenerates Figure 7b: tasks vs threshold tau at
+// the worst case f = tau (linear growth along the upper bound).
+func BenchmarkFigure7b(b *testing.B) { benchExperiment(b, "figure7b") }
+
+// BenchmarkFigure7c regenerates Figure 7c: tasks vs set-size bound n
+// (knee near n=10-20, flat logarithmic tail).
+func BenchmarkFigure7c(b *testing.B) { benchExperiment(b, "figure7c") }
+
+// BenchmarkFigure7d regenerates Figure 7d: tasks vs dataset size N
+// from 1K to 1M (linear, < 6% of N in the plotted range).
+func BenchmarkFigure7d(b *testing.B) { benchExperiment(b, "figure7d") }
+
+// BenchmarkFigure7e regenerates Figure 7e: Multiple-Coverage vs brute
+// force across the four Table 3 settings at sigma=4.
+func BenchmarkFigure7e(b *testing.B) { benchExperiment(b, "figure7e") }
+
+// BenchmarkFigure7f regenerates Figure 7f: Intersectional-Coverage vs
+// brute force across the Table 3 settings on (2,2,2).
+func BenchmarkFigure7f(b *testing.B) { benchExperiment(b, "figure7f") }
+
+// BenchmarkFigure7g regenerates Figure 7g: Multiple-Coverage vs brute
+// force as cardinality grows from 3 to 6 (widening gap).
+func BenchmarkFigure7g(b *testing.B) { benchExperiment(b, "figure7g") }
+
+// BenchmarkFigure7h regenerates Figure 7h: Intersectional-Coverage on
+// (2,4) vs (2,2,2) (equal subgroup counts, similar cost).
+func BenchmarkFigure7h(b *testing.B) { benchExperiment(b, "figure7h") }
+
+// BenchmarkAblationCore regenerates the design-choice ablation table:
+// the full Algorithm 1 vs variants without sibling inference and/or
+// the checked-based lower bound.
+func BenchmarkAblationCore(b *testing.B) { benchExperiment(b, "ablation-core") }
+
+// BenchmarkAblationSampling regenerates the sampling-factor sweep of
+// Multiple-Coverage (the paper's c = 2 default against alternatives).
+func BenchmarkAblationSampling(b *testing.B) { benchExperiment(b, "ablation-sampling") }
+
+// BenchmarkNoiseSweep regenerates the worker-noise robustness sweep:
+// HITs and verdict correctness as slip rates grow from 0 to 35 %.
+func BenchmarkNoiseSweep(b *testing.B) { benchExperiment(b, "noise-sweep") }
+
+// BenchmarkSamplingBaseline regenerates the exact-vs-statistical
+// comparison: Group-Coverage against Hoeffding-bound sampling across
+// group sizes.
+func BenchmarkSamplingBaseline(b *testing.B) { benchExperiment(b, "sampling-baseline") }
+
+// BenchmarkAggregation regenerates the truth-inference comparison
+// under spammer-heavy worker pools.
+func BenchmarkAggregation(b *testing.B) { benchExperiment(b, "aggregation") }
+
+// --- micro-benchmarks of the core machinery --------------------------------
+
+// BenchmarkGroupCoverage100K measures one Group-Coverage audit at the
+// paper's default scale (N=100K, f=tau=50, n=50) with a perfect
+// oracle: the pure algorithmic cost without crowd simulation.
+func BenchmarkGroupCoverage100K(b *testing.B) {
+	ds, err := GenerateBinary(100_000, 50, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	ids := ds.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auditor := NewAuditor(NewTruthOracle(ds), 50, 50)
+		if _, err := auditor.AuditGroup(ids, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedCrowdSetQuery measures one 50-image set query
+// through the full platform (3 workers perceiving rendered glyphs).
+func BenchmarkSimulatedCrowdSetQuery(b *testing.B) {
+	ds, err := GenerateBinary(1_000, 100, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crowd, err := NewSimulatedCrowd(ds, benchSeed, CrowdOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	ids := ds.IDs()[:50]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crowd.SetQuery(ids, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

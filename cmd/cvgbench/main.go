@@ -1,0 +1,77 @@
+// Command cvgbench regenerates the paper's evaluation artifacts: every
+// table and figure of section 6 plus the extension experiments,
+// printed as aligned text tables.
+//
+// Usage:
+//
+//	cvgbench -list
+//	cvgbench -exp table1 -seed 42 -trials 5
+//	cvgbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"imagecvg/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("cvgbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		exp    = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed   = fs.Int64("seed", 42, "base random seed")
+		trials = fs.Int("trials", 3, "repetitions averaged per configuration")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(out, "available experiments:")
+		for _, e := range sim.Experiments() {
+			fmt.Fprintf(out, "  %-18s %-10s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return 0
+	}
+
+	runOne := func(e sim.Experiment) error {
+		start := time.Now()
+		res, err := e.Run(*seed, *trials)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "=== %s (%s) — %s [%.1fs]\n%s\n",
+			e.ID, e.Paper, e.Description, time.Since(start).Seconds(), res)
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range sim.Experiments() {
+			if err := runOne(e); err != nil {
+				fmt.Fprintln(errOut, "cvgbench:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	e, ok := sim.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(errOut, "cvgbench: unknown experiment %q (use -list)\n", *exp)
+		return 2
+	}
+	if err := runOne(e); err != nil {
+		fmt.Fprintln(errOut, "cvgbench:", err)
+		return 1
+	}
+	return 0
+}

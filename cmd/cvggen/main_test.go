@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+func TestGeneratePreset(t *testing.T) {
+	path := t.TempDir() + "/d.json"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-preset", "feret-table1", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	d, err := dataset.LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1522 || d.CountGroup(dataset.Female(d.Schema())) != 215 {
+		t.Errorf("preset dataset wrong: N=%d", d.Size())
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	path := t.TempDir() + "/c.json"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "200", "-minority", "30", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	d, err := dataset.LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 200 || d.CountGroup(dataset.Female(d.Schema())) != 30 {
+		t.Errorf("custom dataset wrong")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("missing -out: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-preset", "nope", "-out", t.TempDir() + "/x.json"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown preset: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-n", "10", "-minority", "20", "-out", t.TempDir() + "/y.json"}, &out, &errOut); code != 1 {
+		t.Errorf("invalid composition: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-out", "/nonexistent-dir/zzz/d.json"}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable path: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	run([]string{"-n", "50", "-minority", "5", "-seed", "9", "-out", dir + "/a.json"}, &out, &errOut)
+	run([]string{"-n", "50", "-minority", "5", "-seed", "9", "-out", dir + "/b.json"}, &out, &errOut)
+	a, err := dataset.LoadJSON(dir + "/a.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dataset.LoadJSON(dir + "/b.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.At(i).Labels[0] != b.At(i).Labels[0] {
+			t.Fatal("same seed must generate identical datasets")
+		}
+	}
+}

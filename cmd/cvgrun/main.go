@@ -1,0 +1,146 @@
+// Command cvgrun audits a dataset file for representation bias: it
+// loads a JSON dataset (see cvggen), runs one of the paper's coverage
+// algorithms against either a perfect oracle or the simulated crowd,
+// and prints the verdicts and cost.
+//
+// Usage:
+//
+//	cvgrun -data rare.json -mode group -group "1" -tau 50 -n 50
+//	cvgrun -data feret.json -mode base -group "1"
+//	cvgrun -data faces.json -mode intersectional -crowd
+//	cvgrun -data faces.json -mode attribute -attr gender
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"imagecvg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("cvgrun", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		data     = fs.String("data", "", "dataset JSON file (required)")
+		mode     = fs.String("mode", "group", "audit mode: group, base, attribute, intersectional, repair")
+		groupStr = fs.String("group", "", "pattern of the audited group, e.g. \"1\" or \"X1\" (group/base modes)")
+		attr     = fs.String("attr", "", "attribute name (attribute mode)")
+		tau      = fs.Int("tau", 50, "coverage threshold")
+		n        = fs.Int("n", 50, "set-query size upper bound")
+		seed     = fs.Int64("seed", 1, "random seed")
+		useCrowd = fs.Bool("crowd", false, "audit through the simulated crowd instead of ground truth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *data == "" {
+		fmt.Fprintln(errOut, "cvgrun: -data is required")
+		return 2
+	}
+	ds, err := imagecvg.LoadDataset(*data)
+	if err != nil {
+		fmt.Fprintln(errOut, "cvgrun:", err)
+		return 1
+	}
+	fmt.Fprintf(out, "dataset: %d objects over schema %s\n", ds.Size(), ds.Schema())
+
+	var oracle imagecvg.Oracle
+	var crowdOracle *imagecvg.SimulatedCrowd
+	if *useCrowd {
+		crowdOracle, err = imagecvg.NewSimulatedCrowd(ds, *seed, imagecvg.CrowdOptions{})
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		oracle = crowdOracle
+	} else {
+		oracle = imagecvg.NewTruthOracle(ds)
+	}
+	auditor := imagecvg.NewAuditor(oracle, *tau, *n).WithSeed(*seed)
+
+	switch *mode {
+	case "group", "base":
+		if *groupStr == "" {
+			fmt.Fprintln(errOut, "cvgrun: -group is required for group/base modes")
+			return 2
+		}
+		p, err := imagecvg.ParsePattern(ds.Schema(), *groupStr)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		g := imagecvg.GroupOf(p.Format(ds.Schema()), p)
+		var res imagecvg.GroupResult
+		if *mode == "group" {
+			res, err = auditor.AuditGroup(ds.IDs(), g)
+		} else {
+			res, err = auditor.AuditBaseline(ds.IDs(), g)
+		}
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		fmt.Fprintln(out, res)
+	case "attribute":
+		idx := 0
+		if *attr != "" {
+			idx = ds.Schema().AttrIndex(*attr)
+			if idx < 0 {
+				fmt.Fprintf(errOut, "cvgrun: unknown attribute %q\n", *attr)
+				return 1
+			}
+		}
+		res, err := auditor.AuditAttribute(ds.IDs(), ds.Schema(), idx)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		for _, r := range res.Results {
+			verdict := "UNCOVERED"
+			if r.Covered {
+				verdict = "covered"
+			}
+			fmt.Fprintf(out, "  %-30s %-10s count in [%d, %d]\n", r.Group, verdict, r.CountLo, r.CountHi)
+		}
+		fmt.Fprintf(out, "total tasks: %d (samples %d + audits %d)\n", res.Tasks, res.SampleTasks, res.AuditTasks)
+	case "intersectional", "repair":
+		res, err := auditor.AuditIntersectional(ds.IDs(), ds.Schema())
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		if len(res.MUPs) == 0 {
+			fmt.Fprintln(out, "no uncovered patterns: every subgroup reaches the threshold")
+		} else {
+			fmt.Fprintln(out, "maximal uncovered patterns (MUPs):")
+			for _, m := range res.MUPs {
+				fmt.Fprintf(out, "  %-40s count=%d\n", m.Pattern.Format(ds.Schema()), m.Count)
+			}
+		}
+		fmt.Fprintf(out, "total tasks: %d\n", res.Tasks)
+		if *mode == "repair" {
+			plan, err := auditor.PlanRepair(ds.Schema(), res)
+			if err != nil {
+				fmt.Fprintln(errOut, "cvgrun:", err)
+				return 1
+			}
+			fmt.Fprintln(out, "acquisition plan:")
+			fmt.Fprintln(out, plan)
+		}
+	default:
+		fmt.Fprintf(errOut, "cvgrun: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	if crowdOracle != nil {
+		fmt.Fprintln(out, "crowd cost:", crowdOracle.Cost())
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imagecvg"
+)
+
+// writeDataset saves a small gender dataset and returns its path.
+func writeDataset(t *testing.T, n, minority int) string {
+	t.Helper()
+	ds, err := imagecvg.GenerateBinary(n, minority, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/d.json"
+	if err := ds.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGroupMode(t *testing.T) {
+	path := writeDataset(t, 500, 20)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "group", "-group", "1", "-tau", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "uncovered") {
+		t.Errorf("20 < 50 should be uncovered:\n%s", out.String())
+	}
+}
+
+func TestBaseMode(t *testing.T) {
+	path := writeDataset(t, 200, 100)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "base", "-group", "1", "-tau", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "covered") {
+		t.Errorf("100 >= 50 should be covered:\n%s", out.String())
+	}
+}
+
+func TestAttributeModeWithCrowd(t *testing.T) {
+	path := writeDataset(t, 400, 60)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "attribute", "-attr", "gender", "-crowd", "-tau", "30"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "gender=male") || !strings.Contains(out.String(), "crowd cost") {
+		t.Errorf("output incomplete:\n%s", out.String())
+	}
+}
+
+func TestIntersectionalMode(t *testing.T) {
+	path := writeDataset(t, 300, 10)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "intersectional", "-tau", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "gender=female") {
+		t.Errorf("females (10 < 50) should appear as MUP:\n%s", out.String())
+	}
+}
+
+func TestRepairMode(t *testing.T) {
+	path := writeDataset(t, 300, 10)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "repair", "-tau", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "acquisition plan") ||
+		!strings.Contains(out.String(), "40 x gender=female") {
+		t.Errorf("repair output incomplete:\n%s", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	path := writeDataset(t, 50, 5)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"missing data", []string{"-mode", "group"}, 2},
+		{"missing file", []string{"-data", "/no/such/file.json"}, 1},
+		{"missing group", []string{"-data", path, "-mode", "group"}, 2},
+		{"bad pattern", []string{"-data", path, "-mode", "group", "-group", "XX9"}, 1},
+		{"unknown attr", []string{"-data", path, "-mode", "attribute", "-attr", "planet"}, 1},
+		{"unknown mode", []string{"-data", path, "-mode", "dance"}, 2},
+		{"bad flag", []string{"-zzz"}, 2},
+	}
+	for _, tc := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(tc.args, &out, &errOut); code != tc.code {
+			t.Errorf("%s: exit = %d, want %d (stderr: %s)", tc.name, code, tc.code, errOut.String())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package imagecvg identifies representation bias in unlabeled image
+// datasets with a minimal number of crowd tasks, implementing the
+// algorithms of "Data Coverage for Detecting Representation Bias in
+// Image Datasets: A Crowdsourcing Approach" (Mousavi, Shahbazi,
+// Asudeh — EDBT 2024).
+//
+// A dataset covers a demographic group when it contains at least tau
+// objects of that group. Because image collections rarely carry
+// demographic annotations, establishing coverage requires asking
+// someone — a crowd — about the images, and every question costs
+// money. The package's core is Group-Coverage, a divide-and-conquer
+// group-testing procedure over set queries ("does this batch of
+// images contain at least one female?") that decides coverage in
+// Theta(N/n + tau*log n) tasks instead of the Theta(N) point labels a
+// naive audit needs. On top of it sit Multiple-Coverage (many groups,
+// with super-group aggregation), Intersectional-Coverage (maximal
+// uncovered patterns over several sensitive attributes), and
+// Classifier-Coverage (exploiting an existing, possibly unreliable,
+// pre-trained classifier).
+//
+// # Quick start
+//
+//	ds, _ := imagecvg.GenerateBinary(10_000, 40, 7) // 40 females hidden in 10k images
+//	auditor := imagecvg.NewAuditor(imagecvg.NewTruthOracle(ds), 50, 50)
+//	res, _ := auditor.AuditGroup(ds.IDs(), imagecvg.FemaleGroup(ds.Schema()))
+//	fmt.Println(res) // "female: uncovered, count>=40 (exact), 522 tasks"
+//
+// Replace the truth oracle with NewSimulatedCrowd (or any custom
+// Oracle implementation bridging to a real crowdsourcing platform) to
+// audit through imperfect, redundantly-assigned, majority-voted
+// workers with full cost accounting.
+//
+// The exported API is a thin façade; the implementation lives in
+// internal packages (core, pattern, dataset, crowd, classifier, ml,
+// sim) whose relevant types are re-exported here by alias.
+package imagecvg

@@ -1,0 +1,87 @@
+package imagecvg_test
+
+import (
+	"fmt"
+	"log"
+
+	"imagecvg"
+)
+
+// Audit a deterministic 16-image dataset — the paper's running
+// example — for coverage of the minority group at tau = 3.
+func Example() {
+	bits := []int{0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1}
+	labels := make([][]int, len(bits))
+	for i, b := range bits {
+		labels[i] = []int{b}
+	}
+	ds, err := imagecvg.NewDataset(imagecvg.GenderSchema(), labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditor := imagecvg.NewAuditor(imagecvg.NewTruthOracle(ds), 3, 16)
+	res, err := auditor.AuditGroup(ds.IDs(), imagecvg.FemaleGroup(ds.Schema()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	// Output: female: covered, count>=3, 7 tasks
+}
+
+// Discover maximal uncovered patterns over two sensitive attributes.
+func ExampleAuditor_AuditIntersectional() {
+	schema, err := imagecvg.NewSchema(
+		imagecvg.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		imagecvg.Attribute{Name: "race", Values: []string{"white", "black"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var labels [][]int
+	add := func(g, r, n int) {
+		for i := 0; i < n; i++ {
+			labels = append(labels, []int{g, r})
+		}
+	}
+	add(0, 0, 200) // male-white
+	add(1, 0, 150) // female-white
+	add(0, 1, 120) // male-black
+	add(1, 1, 3)   // female-black: underrepresented
+	ds, err := imagecvg.NewDataset(schema, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditor := imagecvg.NewAuditor(imagecvg.NewTruthOracle(ds), 50, 50).WithSeed(3)
+	res, err := auditor.AuditIntersectional(ds.IDs(), schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.MUPs {
+		fmt.Printf("%s (count %d)\n", m.Pattern.Format(schema), m.Count)
+	}
+	// Output: gender=female AND race=black (count 3)
+}
+
+// Plan the acquisitions that repair every uncovered pattern.
+func ExampleNewRepairPlan() {
+	schema := imagecvg.GenderSchema()
+	// 120 males, 35 females; tau = 50.
+	plan, err := imagecvg.NewRepairPlan(schema, []int{120, 35}, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// acquire 15 objects:
+	//     15 x gender=female
+}
+
+// The theoretical task bounds of section 3.2.
+func ExampleUpperBoundHITs() {
+	// Table 1's configuration: N=1522, n=50, tau=50.
+	fmt.Printf("lower bound: %d tasks\n", imagecvg.LowerBoundTasks(1522, 50))
+	fmt.Printf("upper bound: %.0f HITs\n", imagecvg.UpperBoundHITs(1522, 50, 50))
+	// Output:
+	// lower bound: 31 tasks
+	// upper bound: 115 HITs
+}

@@ -1,0 +1,65 @@
+// Intersectional bias: discover the maximal uncovered patterns (MUPs)
+// of a gender x race face collection — the paper's Figure 5 scenario,
+// where female-black is severely underrepresented even though both
+// "female" and "black" look fine in isolation.
+//
+//	go run ./examples/intersectional_bias
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imagecvg"
+)
+
+func main() {
+	schema, err := imagecvg.NewSchema(
+		imagecvg.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		imagecvg.Attribute{Name: "race", Values: []string{"white", "black", "hispanic", "asian"}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Composition: every marginal group is covered, but the
+	// female-black intersection has only 5 images.
+	var labels [][]int
+	add := func(g, r, count int) {
+		for i := 0; i < count; i++ {
+			labels = append(labels, []int{g, r})
+		}
+	}
+	add(0, 0, 400) // male-white
+	add(1, 0, 350) // female-white
+	add(0, 1, 120) // male-black
+	add(1, 1, 5)   // female-black  <- hidden representation bias
+	add(0, 2, 90)  // male-hispanic
+	add(1, 2, 80)  // female-hispanic
+	add(0, 3, 75)  // male-asian
+	add(1, 3, 60)  // female-asian
+	ds, err := imagecvg.NewDataset(schema, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	auditor := imagecvg.NewAuditor(imagecvg.NewTruthOracle(ds), 50, 50).WithSeed(5)
+	res, err := auditor.AuditIntersectional(ds.IDs(), schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("audited %d images across %d patterns in %d crowd tasks\n\n",
+		ds.Size(), len(res.Verdicts), res.Tasks)
+	fmt.Println("maximal uncovered patterns (tau = 50):")
+	for _, m := range res.MUPs {
+		fmt.Printf("  %-40s only %d images\n", m.Pattern.Format(schema), m.Count)
+	}
+	fmt.Println("\nnote how gender=female AND race=black surfaces even though")
+	fmt.Println("both gender=female and race=black are covered on their own:")
+	for _, key := range []string{"1X", "X1"} {
+		v := res.Verdicts[key]
+		fmt.Printf("  %-40s %s (count >= %d)\n",
+			v.Pattern.Format(schema), v.Coverage, v.Bounds.Lo)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: audit a 10,000-image dataset for female coverage and
+// compare the divide-and-conquer auditor against the naive baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imagecvg"
+)
+
+func main() {
+	// A synthetic collection of 10,000 face images, 40 of them female
+	// — far below the coverage threshold of 50 we are about to demand.
+	// In a real deployment the labels are unknown; here they are
+	// hidden ground truth only oracles may read.
+	ds, err := imagecvg.GenerateBinary(10_000, 40, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := ds.Schema()
+	female := imagecvg.FemaleGroup(schema)
+
+	// tau=50: a group is covered when at least 50 of its members are
+	// present. n=50: a crowd set-query shows at most 50 images.
+	auditor := imagecvg.NewAuditor(imagecvg.NewTruthOracle(ds), 50, 50)
+
+	res, err := auditor.AuditGroup(ds.IDs(), female)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Group-Coverage:", res)
+
+	base, err := auditor.AuditBaseline(ds.IDs(), female)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Base-Coverage: ", base)
+
+	fmt.Printf("\nGroup-Coverage saved %.1f%% of the labeling effort (%d vs %d tasks).\n",
+		100*(1-float64(res.Tasks)/float64(base.Tasks)), res.Tasks, base.Tasks)
+	fmt.Printf("Worst-case bound: %d tasks; lower bound: %d tasks.\n",
+		imagecvg.UpperBoundTasksLog2(ds.Size(), 50, 50), imagecvg.LowerBoundTasks(ds.Size(), 50))
+}

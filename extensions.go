@@ -1,0 +1,84 @@
+package imagecvg
+
+import (
+	"math/rand"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/pattern"
+	"imagecvg/internal/repair"
+)
+
+// Extension surface beyond the paper's algorithms: acquisition
+// planning, batched (low-latency) audits, the statistical baseline,
+// audit transcripts, and execution-tree tracing.
+
+type (
+	// RepairPlan is an acquisition plan repairing every uncovered
+	// pattern.
+	RepairPlan = repair.Plan
+	// RoundsResult is a batched audit outcome (verdict plus rounds).
+	RoundsResult = core.RoundsResult
+	// SampledResult is the statistical estimator's outcome.
+	SampledResult = core.SampledResult
+	// RecordingOracle wraps an Oracle and keeps the audit transcript.
+	RecordingOracle = core.RecordingOracle
+	// ReplayOracle re-answers a recorded transcript.
+	ReplayOracle = core.ReplayOracle
+	// QueryRecord is one transcript entry.
+	QueryRecord = core.QueryRecord
+	// ExecutionTrace records a Group-Coverage execution tree.
+	ExecutionTrace = core.ExecutionTrace
+)
+
+// Re-exported transcript constructors.
+var (
+	// NewRecordingOracle wraps any oracle with transcript recording.
+	NewRecordingOracle = core.NewRecordingOracle
+	// NewReplayOracle replays a recorded transcript.
+	NewReplayOracle = core.NewReplayOracle
+)
+
+// NewRepairPlan computes the acquisitions that bring every pattern of
+// the schema to tau, from exact fully-specified subgroup counts
+// (pattern.SubgroupIndex order).
+func NewRepairPlan(s *Schema, counts []int, tau int) (*RepairPlan, error) {
+	return repair.NewPlan(s, counts, tau)
+}
+
+// PlanRepair derives an acquisition plan directly from an
+// intersectional audit: each fully-specified subgroup contributes the
+// audit's count lower bound (exact for uncovered subgroups, >= tau for
+// covered ones), so the plan is conservative — it never under-acquires.
+func (a *Auditor) PlanRepair(s *Schema, res *IntersectionalResult) (*RepairPlan, error) {
+	counts := make([]int, s.NumSubgroups())
+	for i, p := range pattern.Subgroups(s) {
+		counts[i] = res.Verdicts[p.Key()].Bounds.Lo
+	}
+	return repair.NewPlan(s, counts, a.tau)
+}
+
+// AuditGroupBatched is the level-synchronous variant of AuditGroup:
+// every tree level is issued as one concurrent batch of at most
+// parallelism in-flight queries, bounding audit latency by
+// 1+ceil(log2 n) rounds. The oracle must be safe for concurrent use.
+func (a *Auditor) AuditGroupBatched(ids []ObjectID, g Group, parallelism int) (RoundsResult, error) {
+	return core.GroupCoverageRounds(a.oracle, ids, a.setSize, a.tau, g, parallelism)
+}
+
+// AuditGroupTraced is AuditGroup with execution-tree recording; the
+// returned trace renders as text (String) or Graphviz (DOT).
+func (a *Auditor) AuditGroupTraced(ids []ObjectID, g Group) (GroupResult, *ExecutionTrace, error) {
+	trace := &ExecutionTrace{}
+	res, err := core.GroupCoverageOpt(a.oracle, ids, a.setSize, a.tau, g,
+		core.GroupCoverageOptions{Trace: trace})
+	return res, trace, err
+}
+
+// AuditSampled runs the statistical baseline: uniform point-query
+// sampling with a Hoeffding confidence interval at level 1-delta and a
+// budget of maxTasks queries. Unlike AuditGroup it may return
+// undecided, and its verdicts are only probabilistic.
+func (a *Auditor) AuditSampled(ids []ObjectID, g Group, delta float64, maxTasks int) (SampledResult, error) {
+	return core.SampledCoverage(a.oracle, ids, a.tau, delta, maxTasks, g,
+		rand.New(rand.NewSource(a.seed)))
+}

@@ -1,0 +1,187 @@
+// Package classifier simulates the pre-trained demographic predictors
+// of the paper's section 5 experiments (DeepFace with opencv and
+// retinaface backends, and a baseline CNN). Given a dataset and a
+// target (accuracy, precision-on-positive-group) pair — the statistics
+// the paper publishes in Table 2 — it derives the implied confusion
+// matrix and emits a prediction that realizes it exactly. The
+// Classifier-Coverage algorithm consumes only the predicted-positive
+// set, so reproducing the confusion statistics reproduces its input.
+package classifier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// Confusion is a binary confusion matrix for the positive group.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Total returns the number of classified objects.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), the precision on the positive group.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// String implements fmt.Stringer.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d (acc=%.3f prec=%.3f rec=%.3f)",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.Precision(), c.Recall())
+}
+
+// DeriveConfusion solves for the confusion matrix implied by an
+// overall accuracy and a precision on the positive group, for a
+// dataset with pos positives and neg negatives:
+//
+//	TP + TN = accuracy * N,  TN = neg - FP,  FP = TP*(1-p)/p
+//	=> TP = p*(accuracy*N - neg) / (2p - 1)
+//
+// Counts are rounded and clamped into feasible ranges; the realized
+// statistics therefore match the requested ones up to rounding. The
+// degenerate p = 0.5 (accuracy fixes nothing) is rejected.
+func DeriveConfusion(pos, neg int, accuracy, precision float64) (Confusion, error) {
+	if pos < 0 || neg < 0 || pos+neg == 0 {
+		return Confusion{}, fmt.Errorf("classifier: bad composition pos=%d neg=%d", pos, neg)
+	}
+	if accuracy < 0 || accuracy > 1 || precision < 0 || precision > 1 {
+		return Confusion{}, fmt.Errorf("classifier: accuracy=%f precision=%f out of [0,1]", accuracy, precision)
+	}
+	if math.Abs(precision-0.5) < 1e-9 {
+		return Confusion{}, errors.New("classifier: precision 0.5 leaves the confusion matrix underdetermined")
+	}
+	n := float64(pos + neg)
+	tp := precision * (accuracy*n - float64(neg)) / (2*precision - 1)
+	tpInt := int(math.Round(tp))
+	if tpInt < 0 {
+		tpInt = 0
+	}
+	if tpInt > pos {
+		tpInt = pos
+	}
+	var fpInt int
+	if precision > 0 {
+		fpInt = int(math.Round(float64(tpInt) * (1 - precision) / precision))
+	} else {
+		// Precision zero: no true positives; scale FP from accuracy.
+		tpInt = 0
+		fpInt = int(math.Round(float64(neg) - (accuracy*n - float64(pos-tpInt))))
+	}
+	if fpInt < 0 {
+		fpInt = 0
+	}
+	if fpInt > neg {
+		fpInt = neg
+	}
+	return Confusion{TP: tpInt, FP: fpInt, TN: neg - fpInt, FN: pos - tpInt}, nil
+}
+
+// Simulated is a classifier that labels a dataset's objects for one
+// positive group while realizing a fixed confusion matrix.
+type Simulated struct {
+	// Name identifies the simulated model, e.g. "DeepFace (opencv)".
+	Name string
+	// Target is the confusion matrix the prediction realizes.
+	Target Confusion
+}
+
+// NewSimulated builds a simulated classifier from published accuracy
+// and precision statistics against the given composition.
+func NewSimulated(name string, pos, neg int, accuracy, precision float64) (*Simulated, error) {
+	c, err := DeriveConfusion(pos, neg, accuracy, precision)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulated{Name: name, Target: c}, nil
+}
+
+// Predict returns the predicted-positive set over the dataset: Target.TP
+// randomly chosen true members of g plus Target.FP randomly chosen
+// non-members. It errors if the dataset's composition cannot honor the
+// confusion matrix.
+func (s *Simulated) Predict(d *dataset.Dataset, g pattern.Group, rng *rand.Rand) ([]dataset.ObjectID, error) {
+	if rng == nil {
+		return nil, errors.New("classifier: nil rng")
+	}
+	var members, others []dataset.ObjectID
+	for i := 0; i < d.Size(); i++ {
+		o := d.At(i)
+		if g.Matches(o.Labels) {
+			members = append(members, o.ID)
+		} else {
+			others = append(others, o.ID)
+		}
+	}
+	if s.Target.TP > len(members) {
+		return nil, fmt.Errorf("classifier %s: needs %d true positives, dataset has %d members",
+			s.Name, s.Target.TP, len(members))
+	}
+	if s.Target.FP > len(others) {
+		return nil, fmt.Errorf("classifier %s: needs %d false positives, dataset has %d non-members",
+			s.Name, s.Target.FP, len(others))
+	}
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	out := make([]dataset.ObjectID, 0, s.Target.TP+s.Target.FP)
+	out = append(out, members[:s.Target.TP]...)
+	out = append(out, others[:s.Target.FP]...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// Evaluate measures the realized confusion of a predicted set against
+// ground truth — the metric columns of Table 2.
+func Evaluate(d *dataset.Dataset, g pattern.Group, predicted []dataset.ObjectID) (Confusion, error) {
+	inPred := make(map[dataset.ObjectID]bool, len(predicted))
+	for _, id := range predicted {
+		inPred[id] = true
+	}
+	var c Confusion
+	for i := 0; i < d.Size(); i++ {
+		o := d.At(i)
+		member := g.Matches(o.Labels)
+		switch {
+		case member && inPred[o.ID]:
+			c.TP++
+		case member:
+			c.FN++
+		case inPred[o.ID]:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	for _, id := range predicted {
+		if _, ok := d.ByID(id); !ok {
+			return c, fmt.Errorf("classifier: predicted unknown object %d", id)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,179 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 30, FP: 10, TN: 50, FN: 10}
+	if c.Total() != 100 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("Accuracy = %f", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Precision = %f", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Recall = %f", got)
+	}
+	var zero Confusion
+	if zero.Accuracy() != 0 || zero.Precision() != 0 || zero.Recall() != 0 {
+		t.Error("zero confusion must not divide by zero")
+	}
+	if c.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestDeriveConfusionFERETOpenCV(t *testing.T) {
+	// Paper Table 2: FERET (403 F / 591 M), DeepFace-opencv, accuracy
+	// 79.57 %, precision 99.5 % => roughly 201 TP and 1 FP.
+	c, err := DeriveConfusion(403, 591, 0.7957, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP < 195 || c.TP > 206 {
+		t.Errorf("TP = %d, want ~201", c.TP)
+	}
+	if c.FP > 3 {
+		t.Errorf("FP = %d, want ~1", c.FP)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.7957) > 0.01 {
+		t.Errorf("realized accuracy %f, want ~0.7957", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.995) > 0.01 {
+		t.Errorf("realized precision %f, want ~0.995", got)
+	}
+}
+
+func TestDeriveConfusionUTK20(t *testing.T) {
+	// UTKFace 20F/2980M, opencv: accuracy 96.53 %, precision 8 % =>
+	// ~8 TP, ~92 FP.
+	c, err := DeriveConfusion(20, 2980, 0.9653, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP < 6 || c.TP > 10 {
+		t.Errorf("TP = %d, want ~8", c.TP)
+	}
+	if c.FP < 80 || c.FP > 105 {
+		t.Errorf("FP = %d, want ~92", c.FP)
+	}
+}
+
+func TestDeriveConfusionValidation(t *testing.T) {
+	if _, err := DeriveConfusion(0, 0, 0.9, 0.9); err == nil {
+		t.Error("empty composition: want error")
+	}
+	if _, err := DeriveConfusion(10, 10, 1.5, 0.9); err == nil {
+		t.Error("accuracy > 1: want error")
+	}
+	if _, err := DeriveConfusion(10, 10, 0.9, 0.5); err == nil {
+		t.Error("precision 0.5: want error")
+	}
+	if _, err := DeriveConfusion(-1, 10, 0.9, 0.9); err == nil {
+		t.Error("negative pos: want error")
+	}
+}
+
+func TestDeriveConfusionClamping(t *testing.T) {
+	// Infeasible targets clamp into valid ranges rather than going
+	// negative or exceeding the composition.
+	c, err := DeriveConfusion(5, 100, 0.99, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP < 0 || c.TP > 5 || c.FP < 0 || c.FP > 100 {
+		t.Errorf("clamped confusion out of range: %+v", c)
+	}
+	if c.Total() != 105 {
+		t.Errorf("total = %d, want 105", c.Total())
+	}
+}
+
+func TestPredictRealizesConfusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	d, _ := dataset.BinaryWithMinority(994, 403, rng)
+	g := dataset.Female(d.Schema())
+	s, err := NewSimulated("test", 403, 591, 0.7957, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := s.Predict(d, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(d, g, predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s.Target {
+		t.Errorf("realized confusion %+v != target %+v", got, s.Target)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	d, _ := dataset.BinaryWithMinority(50, 10, rng)
+	g := dataset.Female(d.Schema())
+	s := &Simulated{Name: "impossible", Target: Confusion{TP: 20, FP: 0, TN: 40, FN: 0}}
+	if _, err := s.Predict(d, g, rng); err == nil {
+		t.Error("TP beyond membership: want error")
+	}
+	s = &Simulated{Name: "impossible", Target: Confusion{TP: 0, FP: 99, TN: 0, FN: 10}}
+	if _, err := s.Predict(d, g, rng); err == nil {
+		t.Error("FP beyond non-members: want error")
+	}
+	s = &Simulated{Name: "x", Target: Confusion{TP: 1}}
+	if _, err := s.Predict(d, g, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}
+
+func TestEvaluateUnknownPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	d, _ := dataset.BinaryWithMinority(10, 3, rng)
+	g := dataset.Female(d.Schema())
+	if _, err := Evaluate(d, g, []dataset.ObjectID{999}); err == nil {
+		t.Error("unknown predicted id: want error")
+	}
+}
+
+func TestTable2RowsAllFeasible(t *testing.T) {
+	rows := Table2Rows()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	rng := rand.New(rand.NewSource(84))
+	for _, row := range rows {
+		s, err := row.Build()
+		if err != nil {
+			t.Fatalf("%s on %s: %v", row.Classifier, row.Dataset.Name, err)
+		}
+		d := row.Dataset.Generate(rng)
+		g := dataset.Female(d.Schema())
+		predicted, err := s.Predict(d, g, rng)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", row.Classifier, row.Dataset.Name, err)
+		}
+		got, err := Evaluate(d, g, predicted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Realized statistics must be close to the published ones.
+		if math.Abs(got.Accuracy()-row.Accuracy) > 0.02 {
+			t.Errorf("%s on %s: accuracy %.4f, want %.4f",
+				row.Classifier, row.Dataset.Name, got.Accuracy(), row.Accuracy)
+		}
+		if math.Abs(got.Precision()-row.Precision) > 0.05 {
+			t.Errorf("%s on %s: precision %.4f, want %.4f",
+				row.Classifier, row.Dataset.Name, got.Precision(), row.Precision)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package classifier
+
+import "imagecvg/internal/dataset"
+
+// Table2Row is one (dataset, classifier) configuration of the paper's
+// Table 2, with the published accuracy and precision-on-female.
+type Table2Row struct {
+	Dataset    dataset.Preset
+	Classifier string
+	Accuracy   float64 // published overall accuracy (fraction)
+	Precision  float64 // published precision on the female group
+}
+
+// Table2Rows returns the nine evaluated configurations of Table 2 in
+// paper order.
+func Table2Rows() []Table2Row {
+	return []Table2Row{
+		{dataset.FERETUnique, "DeepFace (opencv)", 0.7957, 0.995},
+		{dataset.FERETUnique, "DeepFace (retinaface)", 0.841, 0.9999},
+		{dataset.FERETUnique, "BaseCNN", 0.6448, 0.5919},
+		{dataset.UTKFace200, "DeepFace (opencv)", 0.9356, 0.5202},
+		{dataset.UTKFace200, "DeepFace (retinaface)", 0.9416, 0.5615},
+		{dataset.UTKFace200, "BaseCNN", 0.976, 0.748},
+		{dataset.UTKFace20, "DeepFace (opencv)", 0.9653, 0.08},
+		{dataset.UTKFace20, "DeepFace (retinaface)", 0.9643, 0.1009},
+		{dataset.UTKFace20, "BaseCNN", 0.976, 0.2159},
+	}
+}
+
+// Build constructs the simulated classifier for the row.
+func (r Table2Row) Build() (*Simulated, error) {
+	return NewSimulated(r.Classifier, r.Dataset.Females, r.Dataset.Males, r.Accuracy, r.Precision)
+}

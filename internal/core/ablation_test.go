@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+// Ablation tests: each disabled design choice must preserve
+// correctness while costing strictly more tasks in the regimes the
+// paper motivates it with.
+
+func TestAblationSiblingInferenceCorrectAndCostlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	sumFull, sumAblated := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 200 + rng.Intn(3000)
+		f := rng.Intn(80)
+		tau := 1 + rng.Intn(60)
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dataset.Female(d.Schema())
+
+		full, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 50, tau, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ablated, err := GroupCoverageOpt(NewTruthOracle(d), d.IDs(), 50, tau, g,
+			GroupCoverageOptions{DisableSiblingInference: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Covered != ablated.Covered {
+			t.Fatalf("trial %d: verdicts disagree (%v vs %v)", trial, full.Covered, ablated.Covered)
+		}
+		if !full.Covered && (full.Count != f || ablated.Count != f) {
+			t.Fatalf("trial %d: counts %d/%d, want %d", trial, full.Count, ablated.Count, f)
+		}
+		sumFull += full.Tasks
+		sumAblated += ablated.Tasks
+	}
+	if sumAblated <= sumFull {
+		t.Errorf("sibling inference saved nothing: full %d vs ablated %d tasks", sumFull, sumAblated)
+	}
+}
+
+func TestAblationCountSingletonsCorrectAndCostlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	sumFull, sumAblated := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 500 + rng.Intn(3000)
+		// Covered regime: counting via checked bounds is what lets the
+		// audit stop early, so make the group comfortably covered.
+		tau := 1 + rng.Intn(40)
+		f := tau + rng.Intn(200)
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dataset.Female(d.Schema())
+
+		full, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 50, tau, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ablated, err := GroupCoverageOpt(NewTruthOracle(d), d.IDs(), 50, tau, g,
+			GroupCoverageOptions{CountSingletonsOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full.Covered || !ablated.Covered {
+			t.Fatalf("trial %d: both must report covered (f=%d tau=%d)", trial, f, tau)
+		}
+		sumFull += full.Tasks
+		sumAblated += ablated.Tasks
+	}
+	if sumAblated <= sumFull {
+		t.Errorf("lower-bound counting saved nothing: full %d vs ablated %d tasks", sumFull, sumAblated)
+	}
+}
+
+func TestAblationCountSingletonsExactWhenUncovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	d, err := dataset.BinaryWithMinority(1000, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.Female(d.Schema())
+	res, err := GroupCoverageOpt(NewTruthOracle(d), d.IDs(), 50, 50, g,
+		GroupCoverageOptions{CountSingletonsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered || res.Count != 12 || !res.Exact {
+		t.Errorf("ablated uncovered audit = %+v, want exact 12", res)
+	}
+}
+
+func TestAblationBothDisabled(t *testing.T) {
+	// Both ablations together still decide correctly.
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(1000)
+		f := rng.Intn(60)
+		tau := 1 + rng.Intn(40)
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dataset.Female(d.Schema())
+		res, err := GroupCoverageOpt(NewTruthOracle(d), d.IDs(), 32, tau, g,
+			GroupCoverageOptions{DisableSiblingInference: true, CountSingletonsOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Covered != (f >= tau) {
+			t.Fatalf("trial %d: covered=%v, want %v (f=%d tau=%d)", trial, res.Covered, f >= tau, f, tau)
+		}
+	}
+}
+
+func TestMultipleCoverageNoSampling(t *testing.T) {
+	// NoSampling skips the labeling phase: zero sample tasks, and with
+	// an empty L everything below tau merges into one super-group.
+	s := raceSchema()
+	rng := rand.New(rand.NewSource(105))
+	d := dataset.MustFromCounts(s, []int{900, 40, 30, 30}, rng)
+	groups := pattern4Groups(s)
+	o := NewTruthOracle(d)
+	res, err := MultipleCoverage(o, d.IDs(), 50, 50, groups,
+		MultipleOptions{Rng: rng, NoSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleTasks != 0 {
+		t.Errorf("sample tasks = %d, want 0", res.SampleTasks)
+	}
+	if len(res.SuperAudits) != 1 {
+		t.Errorf("super audits = %d, want 1 (maximal merge)", len(res.SuperAudits))
+	}
+	// Verdicts must still be correct.
+	want := []bool{true, false, false, false}
+	for i, r := range res.Results {
+		if r.Covered != want[i] {
+			t.Errorf("group %d: covered=%v, want %v", i, r.Covered, want[i])
+		}
+	}
+}

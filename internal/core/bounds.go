@@ -1,0 +1,43 @@
+package core
+
+import "math"
+
+// LowerBoundTasks is the information-theoretic minimum number of set
+// queries any algorithm needs to decide coverage: ceil(N/n) queries
+// merely to show every object to the crowd once (section 3.2,
+// concluding remark). It applies whenever the group may be uncovered.
+func LowerBoundTasks(n, setSize int) int {
+	if n <= 0 || setSize <= 0 {
+		return 0
+	}
+	return (n + setSize - 1) / setSize
+}
+
+// UpperBoundHITs is the worst-case task count of Group-Coverage in the
+// form the paper reports in Table 1: N/n + tau*log10(n). (The paper's
+// "upper-bound #HITs" for N=1522, n=50, tau=50 is 115, which matches
+// the base-10 logarithm.)
+func UpperBoundHITs(n, setSize, tau int) float64 {
+	if n <= 0 || setSize <= 0 {
+		return 0
+	}
+	return float64(n)/float64(setSize) + float64(tau)*math.Log10(float64(setSize))
+}
+
+// UpperBoundTasksLog2 is the same Theta(N/n + tau*log n) bound with
+// the binary logarithm of the execution-tree depth, the form used in
+// the proofs of Theorem 3.2 and Lemma 3.3: each root-to-leaf path has
+// length at most ceil(log2 n), at most tau leaves answer yes, and each
+// no-leaf charges to a non-leaf ancestor (so at most a factor 2), plus
+// the N/n roots.
+func UpperBoundTasksLog2(n, setSize, tau int) int {
+	if n <= 0 || setSize <= 0 {
+		return 0
+	}
+	roots := (n + setSize - 1) / setSize
+	depth := 0
+	for s := 1; s < setSize; s *= 2 {
+		depth++
+	}
+	return roots + 2*tau*(depth+1)
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowerBoundTasks(t *testing.T) {
+	cases := []struct{ n, setSize, want int }{
+		{1522, 50, 31},
+		{100, 50, 2},
+		{101, 50, 3},
+		{50, 50, 1},
+		{0, 50, 0},
+		{50, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := LowerBoundTasks(tc.n, tc.setSize); got != tc.want {
+			t.Errorf("LowerBoundTasks(%d,%d) = %d, want %d", tc.n, tc.setSize, got, tc.want)
+		}
+	}
+}
+
+func TestUpperBoundHITsMatchesPaperTable1(t *testing.T) {
+	// Table 1 reports 115 for N=1522, n=50, tau=50 with the log10 form.
+	got := UpperBoundHITs(1522, 50, 50)
+	if math.Round(got) != 115 {
+		t.Errorf("UpperBoundHITs(1522,50,50) = %.2f, want ~115 (paper Table 1)", got)
+	}
+	if UpperBoundHITs(0, 50, 50) != 0 || UpperBoundHITs(50, 0, 50) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+}
+
+func TestUpperBoundTasksLog2(t *testing.T) {
+	// roots + 2*tau*(ceil(log2 n)+1)
+	if got := UpperBoundTasksLog2(100, 50, 10); got != 2+2*10*(6+1) {
+		t.Errorf("UpperBoundTasksLog2(100,50,10) = %d", got)
+	}
+	if got := UpperBoundTasksLog2(16, 16, 3); got != 1+2*3*(4+1) {
+		t.Errorf("UpperBoundTasksLog2(16,16,3) = %d", got)
+	}
+	if UpperBoundTasksLog2(0, 5, 5) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+	// n=1: depth 0.
+	if got := UpperBoundTasksLog2(10, 1, 2); got != 10+2*2*1 {
+		t.Errorf("UpperBoundTasksLog2(10,1,2) = %d", got)
+	}
+}

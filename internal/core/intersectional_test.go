@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+func genderRaceSchema() *pattern.Schema {
+	return pattern.MustSchema(
+		pattern.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		pattern.Attribute{Name: "race", Values: []string{"white", "black", "hispanic", "asian"}},
+	)
+}
+
+func threeBinarySchema() *pattern.Schema {
+	return pattern.MustSchema(
+		pattern.Attribute{Name: "a", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "c", Values: []string{"0", "1"}},
+	)
+}
+
+// checkAgainstGroundTruth asserts that every verdict matches the true
+// counts and that the MUP set equals the combiner's answer.
+func checkAgainstGroundTruth(t *testing.T, d *dataset.Dataset, res *IntersectionalResult, tau int) {
+	t.Helper()
+	s := d.Schema()
+	counts := d.SubgroupCounts()
+	for _, p := range pattern.Universe(s) {
+		trueCount := pattern.CountPattern(s, counts, p)
+		v, ok := res.Verdicts[p.Key()]
+		if !ok {
+			t.Fatalf("no verdict for %v", p)
+		}
+		wantCovered := trueCount >= tau
+		if (v.Coverage == pattern.Covered) != wantCovered {
+			t.Fatalf("pattern %v: verdict %v, true count %d vs tau %d",
+				p, v.Coverage, trueCount, tau)
+		}
+		if v.Coverage == pattern.Unknown {
+			t.Fatalf("pattern %v left unresolved", p)
+		}
+		if v.Bounds.Lo > trueCount || v.Bounds.Hi < trueCount {
+			t.Fatalf("pattern %v: bounds [%d,%d] exclude true count %d",
+				p, v.Bounds.Lo, v.Bounds.Hi, trueCount)
+		}
+	}
+	wantMUPs := pattern.FindMUPs(s, counts, tau)
+	if len(res.MUPs) != len(wantMUPs) {
+		t.Fatalf("MUPs = %v, want %v", res.MUPs, wantMUPs)
+	}
+	for i, m := range res.MUPs {
+		if !m.Pattern.Equal(wantMUPs[i].Pattern) {
+			t.Fatalf("MUP %d = %v, want %v", i, m.Pattern, wantMUPs[i].Pattern)
+		}
+	}
+}
+
+func TestIntersectionalCoverageGenderRace(t *testing.T) {
+	// The paper's Figure 5 scenario: female-black is rare while both
+	// female-X and X-black are well represented, making it a MUP.
+	s := genderRaceSchema()
+	rng := rand.New(rand.NewSource(51))
+	counts := make([]int, s.NumSubgroups())
+	set := func(g, r, c int) {
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, g, r))] = c
+	}
+	set(0, 0, 300) // male-white
+	set(1, 0, 250) // female-white
+	set(0, 1, 80)  // male-black
+	set(1, 1, 5)   // female-black: the MUP
+	set(0, 2, 60)  // male-hispanic
+	set(1, 2, 55)  // female-hispanic
+	set(0, 3, 70)  // male-asian
+	set(1, 3, 65)  // female-asian
+	d := dataset.MustFromCounts(s, counts, rng)
+	o := NewTruthOracle(d)
+	res, err := IntersectionalCoverage(o, d.IDs(), 50, 50, s, MultipleOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstGroundTruth(t, d, res, 50)
+	// female-black must be among the MUPs.
+	found := false
+	for _, m := range res.MUPs {
+		if m.Pattern.Equal(pattern.MustPattern(s, 1, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("female-black missing from MUPs: %v", res.MUPs)
+	}
+	if res.Tasks != res.Multiple.Tasks+res.ResolutionTasks {
+		t.Errorf("task accounting inconsistent")
+	}
+}
+
+func TestIntersectionalCoveragePaperCountExample(t *testing.T) {
+	// Section 4's worked example: with tau=50, 15 female-asians and 20
+	// male-asians imply X-asian (35) is uncovered; with 28 and 32 it
+	// is covered with no extra tasks.
+	s := genderRaceSchema()
+	for _, tc := range []struct {
+		fa, ma  int
+		covered bool
+	}{
+		{15, 20, false},
+		{28, 32, true},
+	} {
+		rng := rand.New(rand.NewSource(52))
+		counts := make([]int, s.NumSubgroups())
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 0))] = 400
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 0))] = 350
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 1))] = 200
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 1))] = 150
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 2))] = 100
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 2))] = 90
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 3))] = tc.fa
+		counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 3))] = tc.ma
+		d := dataset.MustFromCounts(s, counts, rng)
+		o := NewTruthOracle(d)
+		res, err := IntersectionalCoverage(o, d.IDs(), 50, 50, s, MultipleOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asian := pattern.MustPattern(s, pattern.Wildcard, 3)
+		got := res.Verdicts[asian.Key()].Coverage == pattern.Covered
+		if got != tc.covered {
+			t.Errorf("fa=%d ma=%d: X-asian covered=%v, want %v", tc.fa, tc.ma, got, tc.covered)
+		}
+		checkAgainstGroundTruth(t, d, res, 50)
+	}
+}
+
+func TestIntersectionalCoverageRandomized(t *testing.T) {
+	// Property: verdicts and MUPs always match ground truth across
+	// random compositions, thresholds and seeds, for two schemas.
+	schemas := []*pattern.Schema{genderRaceSchema(), threeBinarySchema()}
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		s := schemas[trial%len(schemas)]
+		counts := make([]int, s.NumSubgroups())
+		for i := range counts {
+			switch rng.Intn(3) {
+			case 0:
+				counts[i] = rng.Intn(10) // rare
+			case 1:
+				counts[i] = 40 + rng.Intn(30) // near tau
+			default:
+				counts[i] = 100 + rng.Intn(300) // common
+			}
+		}
+		tau := 20 + rng.Intn(60)
+		d := dataset.MustFromCounts(s, counts, rng)
+		o := NewTruthOracle(d)
+		res, err := IntersectionalCoverage(o, d.IDs(), 50, tau, s, MultipleOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstGroundTruth(t, d, res, tau)
+	}
+}
+
+func TestIntersectionalCoverageEmptySubgroups(t *testing.T) {
+	// Entirely missing subgroups (count 0) are the paper's motivating
+	// case; everything below a missing value chain must be uncovered.
+	s := threeBinarySchema()
+	rng := rand.New(rand.NewSource(54))
+	counts := make([]int, s.NumSubgroups())
+	counts[0] = 500 // only 000 exists
+	d := dataset.MustFromCounts(s, counts, rng)
+	o := NewTruthOracle(d)
+	res, err := IntersectionalCoverage(o, d.IDs(), 50, 50, s, MultipleOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstGroundTruth(t, d, res, 50)
+	// The three level-1 MUPs are a=1, b=1, c=1.
+	if len(res.MUPs) != 3 {
+		t.Errorf("MUPs = %v, want the three level-1 patterns", res.MUPs)
+	}
+}
+
+func TestIntersectionalCoverageValidation(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	o := NewTruthOracle(d)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := IntersectionalCoverage(o, d.IDs(), 1, 1, nil, MultipleOptions{Rng: rng}); err == nil {
+		t.Error("nil schema: want error")
+	}
+	if _, err := IntersectionalCoverage(nil, d.IDs(), 1, 1, d.Schema(), MultipleOptions{Rng: rng}); err == nil {
+		t.Error("nil oracle: want error")
+	}
+}
+
+func TestIntersectionalCoveragePropagatesErrors(t *testing.T) {
+	s := threeBinarySchema()
+	rng := rand.New(rand.NewSource(55))
+	counts := make([]int, s.NumSubgroups())
+	for i := range counts {
+		counts[i] = 20
+	}
+	d := dataset.MustFromCounts(s, counts, rng)
+	flaky := &FlakyOracle{Inner: NewTruthOracle(d), FailEvery: 5}
+	if _, err := IntersectionalCoverage(flaky, d.IDs(), 8, 10, s, MultipleOptions{Rng: rng}); err == nil {
+		t.Error("want propagated transient error")
+	}
+}

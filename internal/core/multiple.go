@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// LabelSamples is the sampling phase of section 4 (Algorithm 6): it
+// draws up to k random objects, labels each with a point query, moves
+// them into the labeled set L, and returns the remaining ids (order
+// preserved). The paper uses k = c*tau with c = 2: enough point
+// queries to confirm majority groups outright while estimating the
+// frequencies of the minorities.
+func LabelSamples(o Oracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *rand.Rand) (remaining []dataset.ObjectID, tasks int, err error) {
+	if o == nil || l == nil {
+		return nil, 0, errors.New("core: nil oracle or labeled set")
+	}
+	if rng == nil {
+		return nil, 0, errors.New("core: LabelSamples needs a *rand.Rand")
+	}
+	if k < 0 {
+		return nil, 0, fmt.Errorf("core: sample size %d", k)
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	chosen := make(map[int]bool, k)
+	for _, idx := range rng.Perm(len(ids))[:k] {
+		chosen[idx] = true
+	}
+	remaining = make([]dataset.ObjectID, 0, len(ids)-k)
+	for i, id := range ids {
+		if !chosen[i] {
+			remaining = append(remaining, id)
+			continue
+		}
+		labels, err := o.PointQuery(id)
+		if err != nil {
+			return nil, tasks, err
+		}
+		tasks++
+		l.Add(id, labels)
+	}
+	return remaining, tasks, nil
+}
+
+// ExpectedCount extrapolates |g| from the labeled sample:
+// E[|g|] = N * L.count(g) / |L| (section 4). Zero when L is empty.
+func ExpectedCount(l *LabeledSet, n int, g pattern.Group) float64 {
+	if l.Len() == 0 {
+		return 0
+	}
+	return float64(n) * float64(l.Count(g)) / float64(l.Len())
+}
+
+// Aggregate is the aggregate function of Algorithm 6: it sorts the
+// groups by their sampled counts ascending — putting minorities next
+// to each other — and greedily merges consecutive groups into a
+// super-group while the sum of their expected counts stays below tau.
+// The result partitions the input; each element lists the indices (in
+// the input slice) of one super-group's members.
+//
+// When multi is true (the intersectional case), a group may join a
+// super-group only if it shares a pattern-graph parent with every
+// member already in it, i.e. all members are fully-specified sibling
+// patterns differing in exactly one attribute. This restriction is
+// what lets Intersectional-Coverage treat an uncovered super-group's
+// joint count as exact at the shared parent.
+func Aggregate(l *LabeledSet, n, tau int, groups []pattern.Group, multi bool) [][]int {
+	type entry struct {
+		idx      int
+		count    int
+		expected float64
+	}
+	entries := make([]entry, len(groups))
+	for i, g := range groups {
+		entries[i] = entry{idx: i, count: l.Count(g), expected: ExpectedCount(l, n, g)}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count < entries[j].count
+		}
+		return entries[i].idx < entries[j].idx
+	})
+
+	var out [][]int
+	var cur []int
+	sum := 0.0
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+			sum = 0
+		}
+	}
+	for _, e := range entries {
+		compatible := true
+		if multi {
+			for _, j := range cur {
+				if !shareParent(groups[e.idx], groups[j]) {
+					compatible = false
+					break
+				}
+			}
+		}
+		if compatible && sum+e.expected < float64(tau) {
+			cur = append(cur, e.idx)
+			sum += e.expected
+			continue
+		}
+		flush()
+		cur = []int{e.idx}
+		sum = e.expected
+	}
+	flush()
+	return out
+}
+
+// shareParent reports whether two single-pattern, fully-specified
+// groups are siblings in the pattern graph: they differ in exactly one
+// attribute (and therefore share the parent that leaves it
+// unspecified). Anything else never merges under the multi rule.
+func shareParent(a, b pattern.Group) bool {
+	if len(a.Members) != 1 || len(b.Members) != 1 {
+		return false
+	}
+	p, q := a.Members[0], b.Members[0]
+	if len(p) != len(q) || !p.FullySpecified() || !q.FullySpecified() {
+		return false
+	}
+	diff := 0
+	for i := range p {
+		if p[i] != q[i] {
+			diff++
+		}
+	}
+	return diff == 1
+}
+
+// SuperAudit records the Group-Coverage run over one super-group.
+type SuperAudit struct {
+	// GroupIndices are the positions of the member groups in the
+	// MultipleCoverage input.
+	GroupIndices []int
+	// Covered is the verdict for the union of the members.
+	Covered bool
+	// RemainingCount is the (exact, when uncovered) number of union
+	// members found among the unlabeled objects.
+	RemainingCount int
+	// TotalCount adds the members found among the labeled samples.
+	TotalCount int
+	// Tasks issued by this super-group's audit, including any
+	// per-member reruns after a covered verdict.
+	Tasks int
+}
+
+// MultipleGroupResult is the per-group outcome of Multiple-Coverage.
+type MultipleGroupResult struct {
+	Group pattern.Group
+	// Covered is the coverage verdict for the group.
+	Covered bool
+	// CountLo and CountHi bound |g| over the full audited universe.
+	// Exact results have CountLo == CountHi.
+	CountLo, CountHi int
+	// Exact marks the count as exact.
+	Exact bool
+	// SuperIndex points into SuperAudits when the group's verdict
+	// came from an uncovered super-group (so only the joint count is
+	// exact); -1 when the group was audited individually.
+	SuperIndex int
+}
+
+// MultipleResult is the outcome of Multiple-Coverage over all groups.
+type MultipleResult struct {
+	// Results aligns with the input group slice.
+	Results []MultipleGroupResult
+	// SuperAudits lists the super-group audits in execution order.
+	SuperAudits []SuperAudit
+	// Labeled is the point-query label cache L.
+	Labeled *LabeledSet
+	// RemainingIDs are the objects never moved into L.
+	RemainingIDs []dataset.ObjectID
+	// SampleTasks, AuditTasks and Tasks break down the cost.
+	SampleTasks, AuditTasks, Tasks int
+}
+
+// MultipleOptions tunes Multiple-Coverage.
+type MultipleOptions struct {
+	// SampleFactor is the constant c of the sampling phase; the label
+	// budget is c*tau point queries. Zero means the paper's default 2.
+	SampleFactor int
+	// NoSampling skips the sampling phase entirely (ablation): with an
+	// empty labeled set, every group's expected count is zero and the
+	// aggregation merges maximally.
+	NoSampling bool
+	// Multi applies the same-parent aggregation rule (intersectional).
+	Multi bool
+	// Rng drives sampling; required.
+	Rng *rand.Rand
+}
+
+// MultipleCoverage is Algorithm 2: coverage identification for several
+// groups at once. It first labels c*tau random objects, forms
+// super-groups of expected minorities by Algorithm 6, and audits each
+// super-group with Group-Coverage. An uncovered super-group settles
+// all its members at once (every member is uncovered); a covered one
+// pays the penalty of re-auditing each member individually.
+func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pattern.Group, opts MultipleOptions) (*MultipleResult, error) {
+	if o == nil {
+		return nil, errors.New("core: nil oracle")
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("core: no groups to audit")
+	}
+	if opts.Rng == nil {
+		return nil, errors.New("core: MultipleCoverage needs options.Rng")
+	}
+	c := opts.SampleFactor
+	if c == 0 {
+		c = 2
+	}
+	if c < 0 || n < 1 || tau < 0 {
+		return nil, fmt.Errorf("core: invalid parameters (c=%d n=%d tau=%d)", c, n, tau)
+	}
+
+	res := &MultipleResult{
+		Results: make([]MultipleGroupResult, len(groups)),
+		Labeled: NewLabeledSet(),
+	}
+	budget := c * tau
+	if opts.NoSampling {
+		budget = 0
+	}
+	remaining, sampleTasks, err := LabelSamples(o, ids, budget, res.Labeled, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
+	res.RemainingIDs = remaining
+	res.SampleTasks = sampleTasks
+
+	supers := Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi)
+	for _, members := range supers {
+		audit := SuperAudit{GroupIndices: members}
+
+		labeledSum := 0
+		parts := make([]pattern.Group, len(members))
+		for i, gi := range members {
+			labeledSum += res.Labeled.Count(groups[gi])
+			parts[i] = groups[gi]
+		}
+		union := parts[0]
+		if len(parts) > 1 {
+			union = pattern.SuperGroup(parts...)
+		}
+		// Samples may already satisfy the threshold; a non-positive
+		// residual threshold is trivially covered (zero tasks).
+		tauPrime := clampTau(tau - labeledSum)
+		gc, err := GroupCoverage(o, remaining, n, tauPrime, union)
+		if err != nil {
+			return nil, err
+		}
+		audit.Tasks += gc.Tasks
+		audit.Covered = gc.Covered
+		audit.RemainingCount = gc.Count
+		audit.TotalCount = labeledSum + gc.Count
+
+		switch {
+		case len(members) == 1:
+			gi := members[0]
+			res.Results[gi] = singleResult(groups[gi], gc, res.Labeled, len(ids))
+		case gc.Covered:
+			// Penalty case: the super-group is covered, which says
+			// nothing about individual members (line 8-12).
+			for _, gi := range members {
+				g := groups[gi]
+				sub, err := GroupCoverage(o, remaining, n, clampTau(tau-res.Labeled.Count(g)), g)
+				if err != nil {
+					return nil, err
+				}
+				audit.Tasks += sub.Tasks
+				res.Results[gi] = singleResult(g, sub, res.Labeled, len(ids))
+			}
+		default:
+			// The union has fewer than tau members, so every member is
+			// uncovered (line 13); only the joint count is exact.
+			superIdx := len(res.SuperAudits)
+			for _, gi := range members {
+				g := groups[gi]
+				lo := res.Labeled.Count(g)
+				res.Results[gi] = MultipleGroupResult{
+					Group:      g,
+					Covered:    false,
+					CountLo:    lo,
+					CountHi:    lo + gc.Count,
+					Exact:      false,
+					SuperIndex: superIdx,
+				}
+			}
+		}
+		res.SuperAudits = append(res.SuperAudits, audit)
+		res.AuditTasks += audit.Tasks
+	}
+	res.Tasks = res.SampleTasks + res.AuditTasks
+	return res, nil
+}
+
+// clampTau floors a residual threshold at zero: the samples already
+// proved coverage when it goes negative.
+func clampTau(tau int) int {
+	if tau < 0 {
+		return 0
+	}
+	return tau
+}
+
+// singleResult folds a Group-Coverage outcome over the remaining
+// objects together with the labeled samples into a full-universe
+// result for one group.
+func singleResult(g pattern.Group, gc GroupResult, l *LabeledSet, universe int) MultipleGroupResult {
+	lo := l.Count(g) + gc.Count
+	out := MultipleGroupResult{
+		Group:      g,
+		Covered:    gc.Covered,
+		CountLo:    lo,
+		CountHi:    universe,
+		Exact:      false,
+		SuperIndex: -1,
+	}
+	if !gc.Covered && gc.Exact {
+		out.CountHi = lo
+		out.Exact = true
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+func TestTruthOracleQueries(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 0})
+	o := NewTruthOracle(d)
+	g := female(d)
+
+	yes, err := o.SetQuery(d.IDs(), g)
+	if err != nil || !yes {
+		t.Errorf("SetQuery(all) = %v, %v", yes, err)
+	}
+	no, err := o.SetQuery([]dataset.ObjectID{0, 2}, g)
+	if err != nil || no {
+		t.Errorf("SetQuery(males) = %v, %v", no, err)
+	}
+	rev, err := o.ReverseSetQuery([]dataset.ObjectID{1}, g)
+	if err != nil || rev {
+		t.Errorf("ReverseSetQuery(female, female) = %v, %v", rev, err)
+	}
+	rev, err = o.ReverseSetQuery([]dataset.ObjectID{0, 1}, g)
+	if err != nil || !rev {
+		t.Errorf("ReverseSetQuery(mixed) = %v, %v", rev, err)
+	}
+	labels, err := o.PointQuery(1)
+	if err != nil || labels[0] != 1 {
+		t.Errorf("PointQuery(1) = %v, %v", labels, err)
+	}
+
+	counts := o.Tasks()
+	if counts.Set != 2 || counts.ReverseSet != 2 || counts.Point != 1 || counts.Total() != 5 {
+		t.Errorf("tasks = %+v", counts)
+	}
+	if counts.String() == "" {
+		t.Error("empty tasks string")
+	}
+	o.Reset()
+	if o.Tasks().Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTruthOracleErrors(t *testing.T) {
+	d := binaryDataset(t, []int{0})
+	o := NewTruthOracle(d)
+	g := female(d)
+	if _, err := o.SetQuery(nil, g); err == nil {
+		t.Error("empty set: want error")
+	}
+	if _, err := o.ReverseSetQuery(nil, g); err == nil {
+		t.Error("empty reverse set: want error")
+	}
+	if _, err := o.SetQuery([]dataset.ObjectID{9}, g); err == nil {
+		t.Error("unknown id: want error")
+	}
+	if _, err := o.ReverseSetQuery([]dataset.ObjectID{9}, g); err == nil {
+		t.Error("unknown id: want error")
+	}
+	if _, err := o.PointQuery(9); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestPointQueryReturnsCopy(t *testing.T) {
+	d := binaryDataset(t, []int{1})
+	o := NewTruthOracle(d)
+	labels, err := o.PointQuery(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels[0] = 0
+	fresh, _ := o.PointQuery(0)
+	if fresh[0] != 1 {
+		t.Error("PointQuery must return a defensive copy")
+	}
+}
+
+func TestFlakyOracle(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	f := &FlakyOracle{Inner: NewTruthOracle(d), FailEvery: 2}
+	g := female(d)
+	if _, err := f.SetQuery(d.IDs(), g); err != nil {
+		t.Errorf("first call should pass: %v", err)
+	}
+	if _, err := f.SetQuery(d.IDs(), g); !errors.Is(err, ErrTransient) {
+		t.Errorf("second call should fail: %v", err)
+	}
+	if _, err := f.PointQuery(0); err != nil {
+		t.Errorf("third call should pass: %v", err)
+	}
+	if _, err := f.ReverseSetQuery(d.IDs(), g); !errors.Is(err, ErrTransient) {
+		t.Errorf("fourth call should fail: %v", err)
+	}
+}
+
+func TestLabeledSet(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1})
+	l := NewLabeledSet()
+	if l.Len() != 0 || l.Has(0) {
+		t.Error("fresh set not empty")
+	}
+	l.Add(0, []int{0})
+	l.Add(1, []int{1})
+	l.Add(1, []int{1}) // overwrite is fine
+	if l.Len() != 2 || !l.Has(1) {
+		t.Errorf("len = %d", l.Len())
+	}
+	if got := l.Count(female(d)); got != 1 {
+		t.Errorf("Count(female) = %d, want 1", got)
+	}
+	v, ok := l.Labels(1)
+	if !ok || v[0] != 1 {
+		t.Errorf("Labels(1) = %v %v", v, ok)
+	}
+	if _, ok := l.Labels(9); ok {
+		t.Error("Labels(9) must miss")
+	}
+	// Add must copy.
+	src := []int{0}
+	l.Add(2, src)
+	src[0] = 1
+	v, _ = l.Labels(2)
+	if v[0] != 0 {
+		t.Error("Add must deep-copy labels")
+	}
+}

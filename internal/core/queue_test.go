@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue()
+	if !q.empty() || q.len() != 0 || q.pop() != nil {
+		t.Fatal("fresh queue must be empty")
+	}
+	a := &node{b: 0, e: 1}
+	b := &node{b: 1, e: 2}
+	c := &node{b: 2, e: 3}
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if q.len() != 3 {
+		t.Fatalf("len = %d", q.len())
+	}
+	if q.pop() != a || q.pop() != b || q.pop() != c {
+		t.Fatal("FIFO order broken")
+	}
+	if !q.empty() {
+		t.Fatal("queue should drain")
+	}
+}
+
+func TestQueueRemoveMiddle(t *testing.T) {
+	q := newQueue()
+	nodes := make([]*node, 5)
+	for i := range nodes {
+		nodes[i] = &node{b: i, e: i + 1}
+		q.push(nodes[i])
+	}
+	q.remove(nodes[2])
+	if q.len() != 4 {
+		t.Fatalf("len = %d", q.len())
+	}
+	want := []*node{nodes[0], nodes[1], nodes[3], nodes[4]}
+	for _, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("pop = [%d,%d), want [%d,%d)", got.b, got.e, w.b, w.e)
+		}
+	}
+}
+
+func TestQueueReuseAfterRemove(t *testing.T) {
+	q := newQueue()
+	a := &node{}
+	q.push(a)
+	q.remove(a)
+	q.push(a) // removed nodes can be requeued
+	if q.pop() != a {
+		t.Fatal("requeued node lost")
+	}
+}
+
+func TestQueueMisusePanics(t *testing.T) {
+	q := newQueue()
+	a := &node{}
+	q.push(a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double push must panic")
+			}
+		}()
+		q.push(a)
+	}()
+	q.remove(a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("removing unqueued node must panic")
+			}
+		}()
+		q.remove(a)
+	}()
+}
+
+func TestNodeSize(t *testing.T) {
+	n := &node{b: 3, e: 10}
+	if n.size() != 7 {
+		t.Errorf("size = %d, want 7", n.size())
+	}
+}

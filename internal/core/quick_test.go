@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"imagecvg/internal/dataset"
+)
+
+// The testing/quick properties below are the library's load-bearing
+// invariants expressed as single predicates over a random seed.
+
+func TestQuickGroupCoverageVerdict(t *testing.T) {
+	f := func(seed int64, nRaw, fRaw, tauRaw, setRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%1500
+		fem := int(fRaw) % (n + 1)
+		tau := 1 + int(tauRaw)%70
+		setSize := 1 + int(setRaw)%90
+		d, err := dataset.BinaryWithMinority(n, fem, rng)
+		if err != nil {
+			return false
+		}
+		g := dataset.Female(d.Schema())
+		res, err := GroupCoverage(NewTruthOracle(d), d.IDs(), setSize, tau, g)
+		if err != nil {
+			return false
+		}
+		if res.Covered != (fem >= tau) {
+			return false
+		}
+		if !res.Covered && (!res.Exact || res.Count != fem) {
+			return false
+		}
+		return res.Tasks <= UpperBoundTasksLog2(n, setSize, tau)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBaseCoverageAgreesWithGroupCoverage(t *testing.T) {
+	f := func(seed int64, nRaw, fRaw, tauRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%800
+		fem := int(fRaw) % (n + 1)
+		tau := 1 + int(tauRaw)%50
+		d, err := dataset.BinaryWithMinority(n, fem, rng)
+		if err != nil {
+			return false
+		}
+		g := dataset.Female(d.Schema())
+		gc, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 32, tau, g)
+		if err != nil {
+			return false
+		}
+		base, err := BaseCoverage(NewTruthOracle(d), d.IDs(), tau, g)
+		if err != nil {
+			return false
+		}
+		return gc.Covered == base.Covered
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundsAgreesWithSequential(t *testing.T) {
+	f := func(seed int64, nRaw, fRaw, tauRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%800
+		fem := int(fRaw) % (n + 1)
+		tau := 1 + int(tauRaw)%50
+		d, err := dataset.BinaryWithMinority(n, fem, rng)
+		if err != nil {
+			return false
+		}
+		g := dataset.Female(d.Schema())
+		seq, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 32, tau, g)
+		if err != nil {
+			return false
+		}
+		par, err := GroupCoverageRounds(NewTruthOracle(d), d.IDs(), 32, tau, g, 4)
+		if err != nil {
+			return false
+		}
+		return seq.Covered == par.Covered
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPartitionCleanCount(t *testing.T) {
+	// Full partition drains always report the exact member count.
+	f := func(seed int64, nRaw, fRaw, setRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%400
+		fem := int(fRaw) % (n + 1)
+		setSize := 1 + int(setRaw)%60
+		d, err := dataset.BinaryWithMinority(n, fem, rng)
+		if err != nil {
+			return false
+		}
+		g := dataset.Female(d.Schema())
+		confirmed, drained, _, err := partitionClean(NewTruthOracle(d), d.IDs(), setSize, n+1, g)
+		return err == nil && drained && confirmed == fem
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

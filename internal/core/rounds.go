@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// RoundsResult reports a level-synchronous audit: the verdict plus the
+// latency/throughput tradeoff against the sequential Algorithm 1.
+type RoundsResult struct {
+	GroupResult
+	// Rounds is the number of synchronous batches issued. With crowd
+	// platforms the wall-clock latency of an audit is dominated by
+	// rounds (every HIT in a batch runs concurrently on the platform),
+	// not by the task count.
+	Rounds int
+}
+
+// GroupCoverageRounds is a deployment-oriented variant of Algorithm 1
+// that issues every set query of one tree level as a single concurrent
+// batch (bounded by parallelism goroutines), the way HIT groups are
+// actually posted to a crowd platform. Latency drops from Theta(tasks)
+// sequential waits to at most 1+ceil(log2 n) rounds; the price is that
+// the early-stop check runs only between rounds and the free
+// right-sibling inference disappears (both siblings are already in
+// flight), so the variant issues somewhat more tasks than the
+// sequential algorithm.
+//
+// The oracle must be safe for concurrent use (TruthOracle is; a real
+// crowd bridge naturally is).
+func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern.Group, parallelism int) (RoundsResult, error) {
+	res := RoundsResult{GroupResult: GroupResult{Group: g}}
+	if o == nil {
+		return res, errors.New("core: nil oracle")
+	}
+	if n < 1 {
+		return res, fmt.Errorf("core: set size bound n=%d, need >= 1", n)
+	}
+	if tau < 0 {
+		return res, fmt.Errorf("core: coverage threshold tau=%d, need >= 0", tau)
+	}
+	if parallelism < 1 {
+		parallelism = 8
+	}
+	if tau == 0 {
+		res.Covered = true
+		return res, nil
+	}
+	if len(ids) == 0 {
+		res.Exact = true
+		return res, nil
+	}
+
+	frontier := make([]*node, 0, (len(ids)+n-1)/n)
+	for i := 0; i < len(ids); i += n {
+		end := i + n
+		if end > len(ids) {
+			end = len(ids)
+		}
+		frontier = append(frontier, &node{b: i, e: end})
+	}
+
+	cnt := 0
+	for len(frontier) > 0 {
+		res.Rounds++
+		answers := make([]bool, len(frontier))
+		errs := make([]error, len(frontier))
+		sem := make(chan struct{}, parallelism)
+		var wg sync.WaitGroup
+		for i, t := range frontier {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, t *node) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				answers[i], errs[i] = o.SetQuery(ids[t.b:t.e], g)
+			}(i, t)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return res, err
+			}
+		}
+		res.Tasks += len(frontier)
+
+		var next []*node
+		for i, t := range frontier {
+			if !answers[i] {
+				continue
+			}
+			switch {
+			case t.parent == nil:
+				cnt++
+			case t.parent.checked:
+				cnt++
+			default:
+				t.parent.checked = true
+			}
+			if t.size() > 1 {
+				mid := (t.b + t.e) / 2
+				t.left = &node{b: t.b, e: mid, parent: t}
+				t.right = &node{b: mid, e: t.e, parent: t}
+				next = append(next, t.left, t.right)
+			}
+		}
+		if cnt >= tau {
+			res.Covered = true
+			res.Count = cnt
+			return res, nil
+		}
+		frontier = next
+	}
+	res.Count = cnt
+	res.Exact = true
+	return res, nil
+}

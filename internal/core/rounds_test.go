@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+func TestGroupCoverageRoundsMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(2000)
+		f := rng.Intn(n + 1)
+		tau := 1 + rng.Intn(60)
+		setSize := 1 + rng.Intn(100)
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dataset.Female(d.Schema())
+		res, err := GroupCoverageRounds(NewTruthOracle(d), d.IDs(), setSize, tau, g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Covered != (f >= tau) {
+			t.Fatalf("trial %d (N=%d f=%d tau=%d): covered=%v, want %v",
+				trial, n, f, tau, res.Covered, f >= tau)
+		}
+		if !res.Covered && (!res.Exact || res.Count != f) {
+			t.Fatalf("trial %d: uncovered count %d (exact=%v), want %d", trial, res.Count, res.Exact, f)
+		}
+	}
+}
+
+func TestGroupCoverageRoundsLatencyBound(t *testing.T) {
+	// Rounds are bounded by 1 + ceil(log2 setSize): one round per tree
+	// level, all trees advancing together.
+	rng := rand.New(rand.NewSource(302))
+	d, err := dataset.BinaryWithMinority(5000, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.Female(d.Schema())
+	res, err := GroupCoverageRounds(NewTruthOracle(d), d.IDs(), 64, 50, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 7 { // 1 + log2(64)
+		t.Errorf("rounds = %d, want <= 7", res.Rounds)
+	}
+	// The sequential algorithm takes one "round" per task; the batch
+	// variant must be dramatically lower latency.
+	seq, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 64, 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds*10 > seq.Tasks {
+		t.Errorf("rounds %d not much below sequential latency %d", res.Rounds, seq.Tasks)
+	}
+	// And the task overhead of losing sibling inference is bounded.
+	if res.Tasks > 2*seq.Tasks+10 {
+		t.Errorf("batch tasks %d too far above sequential %d", res.Tasks, seq.Tasks)
+	}
+}
+
+func TestGroupCoverageRoundsValidationAndDegenerate(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	o := NewTruthOracle(d)
+	g := female(d)
+	if _, err := GroupCoverageRounds(nil, d.IDs(), 1, 1, g, 4); err == nil {
+		t.Error("nil oracle: want error")
+	}
+	if _, err := GroupCoverageRounds(o, d.IDs(), 0, 1, g, 4); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := GroupCoverageRounds(o, d.IDs(), 1, -1, g, 4); err == nil {
+		t.Error("tau<0: want error")
+	}
+	res, err := GroupCoverageRounds(o, d.IDs(), 2, 0, g, 4)
+	if err != nil || !res.Covered || res.Rounds != 0 {
+		t.Errorf("tau=0: %+v, %v", res, err)
+	}
+	res, err = GroupCoverageRounds(o, nil, 2, 1, g, 4)
+	if err != nil || res.Covered || !res.Exact {
+		t.Errorf("empty ids: %+v, %v", res, err)
+	}
+	// parallelism < 1 falls back to a sane default.
+	res, err = GroupCoverageRounds(o, d.IDs(), 2, 1, g, 0)
+	if err != nil || !res.Covered {
+		t.Errorf("default parallelism: %+v, %v", res, err)
+	}
+}
+
+func TestGroupCoverageRoundsPropagatesErrors(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 0, 1, 0, 1, 0, 1})
+	flaky := &FlakyOracle{Inner: NewTruthOracle(d), FailEvery: 3}
+	// Use parallelism 1 so FlakyOracle's unsynchronized counter is
+	// exercised deterministically.
+	_, err := GroupCoverageRounds(flaky, d.IDs(), 4, 4, female(d), 1)
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("err = %v, want ErrTransient", err)
+	}
+}

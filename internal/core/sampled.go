@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// SampledResult reports the statistical coverage estimator.
+type SampledResult struct {
+	Group pattern.Group
+	// Decided is false when the task budget ran out before the
+	// confidence interval cleared the threshold.
+	Decided bool
+	// Covered is the decision (valid only when Decided).
+	Covered bool
+	// Estimate is the point estimate of |g|.
+	Estimate float64
+	// Low and High bound |g| at confidence 1-delta.
+	Low, High float64
+	// Tasks is the number of point queries spent.
+	Tasks int
+}
+
+// String implements fmt.Stringer.
+func (r SampledResult) String() string {
+	verdict := "undecided"
+	if r.Decided {
+		verdict = "uncovered"
+		if r.Covered {
+			verdict = "covered"
+		}
+	}
+	return fmt.Sprintf("%s: %s, |g| in [%.1f, %.1f] (est %.1f), %d tasks",
+		r.Group, verdict, r.Low, r.High, r.Estimate, r.Tasks)
+}
+
+// SampledCoverage is a statistical baseline the paper's exact
+// algorithms should be measured against: estimate |g| from uniformly
+// sampled point labels and decide coverage only when the Hoeffding
+// confidence interval at level 1-delta clears tau. Sampling is
+// cheap when the group is far from the threshold but — unlike
+// Group-Coverage — can never *certify* a verdict, needs Theta(N^2)
+// samples as |g| approaches tau, and gives up (Decided=false) when
+// maxTasks point queries are exhausted.
+//
+// The sample grows by doubling; after m draws (without replacement,
+// treated conservatively as with-replacement for the bound) the
+// interval is N * (phat ± sqrt(ln(2/delta) / (2m))).
+func SampledCoverage(o Oracle, ids []dataset.ObjectID, tau int, delta float64, maxTasks int, g pattern.Group, rng *rand.Rand) (SampledResult, error) {
+	res := SampledResult{Group: g}
+	if o == nil {
+		return res, errors.New("core: nil oracle")
+	}
+	if rng == nil {
+		return res, errors.New("core: SampledCoverage needs a *rand.Rand")
+	}
+	if delta <= 0 || delta >= 1 {
+		return res, fmt.Errorf("core: delta=%f out of (0,1)", delta)
+	}
+	if tau < 0 || maxTasks < 0 {
+		return res, fmt.Errorf("core: tau=%d maxTasks=%d", tau, maxTasks)
+	}
+	n := len(ids)
+	if tau == 0 {
+		res.Decided, res.Covered = true, true
+		return res, nil
+	}
+	if n == 0 {
+		res.Decided = true
+		return res, nil
+	}
+	if maxTasks > n {
+		maxTasks = n
+	}
+
+	perm := rng.Perm(n)
+	hits, m := 0, 0
+	batch := 16
+	for m < maxTasks {
+		target := m + batch
+		if target > maxTasks {
+			target = maxTasks
+		}
+		for ; m < target; m++ {
+			labels, err := o.PointQuery(ids[perm[m]])
+			if err != nil {
+				return res, err
+			}
+			res.Tasks++
+			if g.Matches(labels) {
+				hits++
+			}
+		}
+		batch *= 2
+
+		phat := float64(hits) / float64(m)
+		eps := math.Sqrt(math.Log(2/delta) / (2 * float64(m)))
+		res.Estimate = float64(n) * phat
+		res.Low = math.Max(0, float64(n)*(phat-eps))
+		res.High = math.Min(float64(n), float64(n)*(phat+eps))
+		// A full census is exact regardless of the bound.
+		if m == n {
+			res.Low, res.High = res.Estimate, res.Estimate
+		}
+		if res.Low >= float64(tau) {
+			res.Decided, res.Covered = true, true
+			return res, nil
+		}
+		if res.High < float64(tau) {
+			res.Decided = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/dataset"
+)
+
+func TestSampledCoverageValidation(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	o := NewTruthOracle(d)
+	g := female(d)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SampledCoverage(nil, d.IDs(), 1, 0.05, 10, g, rng); err == nil {
+		t.Error("nil oracle: want error")
+	}
+	if _, err := SampledCoverage(o, d.IDs(), 1, 0.05, 10, g, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := SampledCoverage(o, d.IDs(), 1, 0, 10, g, rng); err == nil {
+		t.Error("delta=0: want error")
+	}
+	if _, err := SampledCoverage(o, d.IDs(), 1, 1.5, 10, g, rng); err == nil {
+		t.Error("delta>1: want error")
+	}
+	if _, err := SampledCoverage(o, d.IDs(), -1, 0.05, 10, g, rng); err == nil {
+		t.Error("tau<0: want error")
+	}
+}
+
+func TestSampledCoverageDegenerate(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	o := NewTruthOracle(d)
+	g := female(d)
+	rng := rand.New(rand.NewSource(2))
+	res, err := SampledCoverage(o, d.IDs(), 0, 0.05, 10, g, rng)
+	if err != nil || !res.Decided || !res.Covered || res.Tasks != 0 {
+		t.Errorf("tau=0: %+v, %v", res, err)
+	}
+	res, err = SampledCoverage(o, nil, 1, 0.05, 10, g, rng)
+	if err != nil || !res.Decided || res.Covered {
+		t.Errorf("empty ids: %+v, %v", res, err)
+	}
+}
+
+func TestSampledCoverageEasyCases(t *testing.T) {
+	// Far from the threshold in either direction, a small sample
+	// decides confidently and correctly.
+	rng := rand.New(rand.NewSource(3))
+
+	// Massively covered: half the dataset.
+	d, _ := dataset.BinaryWithMinority(20_000, 10_000, rng)
+	g := dataset.Female(d.Schema())
+	res, err := SampledCoverage(NewTruthOracle(d), d.IDs(), 50, 0.01, 5_000, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || !res.Covered {
+		t.Errorf("half-female dataset must decide covered: %+v", res)
+	}
+	if res.Tasks > 2_000 {
+		t.Errorf("easy case should be cheap, used %d tasks", res.Tasks)
+	}
+
+	// Estimate must bracket the truth.
+	if res.Low > 10_000 || res.High < 10_000 {
+		t.Errorf("interval [%f, %f] excludes truth 10000", res.Low, res.High)
+	}
+}
+
+func TestSampledCoverageCannotCertifyNearThreshold(t *testing.T) {
+	// The estimator's weakness, and the paper's motivation for exact
+	// algorithms: with |g| == tau the interval cannot clear the
+	// threshold within any modest budget, so it gives up undecided —
+	// while Group-Coverage decides exactly.
+	rng := rand.New(rand.NewSource(4))
+	d, _ := dataset.BinaryWithMinority(20_000, 50, rng)
+	g := dataset.Female(d.Schema())
+	budget := 3_000
+	res, err := SampledCoverage(NewTruthOracle(d), d.IDs(), 50, 0.05, budget, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decided {
+		t.Errorf("near-threshold sampling should stay undecided at budget %d: %+v", budget, res)
+	}
+	gc, err := GroupCoverage(NewTruthOracle(d), d.IDs(), 50, 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gc.Covered {
+		t.Error("Group-Coverage must decide the same instance exactly")
+	}
+}
+
+func TestSampledCoverageFullCensusIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, _ := dataset.BinaryWithMinority(300, 40, rng)
+	g := dataset.Female(d.Schema())
+	res, err := SampledCoverage(NewTruthOracle(d), d.IDs(), 50, 0.05, 300, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || res.Covered {
+		t.Errorf("census must decide uncovered: %+v", res)
+	}
+	if res.Low != 40 || res.High != 40 {
+		t.Errorf("census interval [%f,%f], want exactly 40", res.Low, res.High)
+	}
+}
+
+func TestSampledCoverageDecisionsAreUsuallyCorrect(t *testing.T) {
+	// Statistical property: across random instances, decided verdicts
+	// are wrong at most rarely (delta-level), and undecided only near
+	// the threshold.
+	rng := rand.New(rand.NewSource(6))
+	wrong, decided := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		n := 2_000 + rng.Intn(5_000)
+		f := rng.Intn(n / 2)
+		tau := 1 + rng.Intn(100)
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := dataset.Female(d.Schema())
+		res, err := SampledCoverage(NewTruthOracle(d), d.IDs(), tau, 0.05, n, g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decided {
+			continue
+		}
+		decided++
+		if res.Covered != (f >= tau) {
+			wrong++
+		}
+	}
+	if decided == 0 {
+		t.Fatal("no decisions at all")
+	}
+	if wrong > decided/10 {
+		t.Errorf("%d/%d decided verdicts wrong; far above the 5%% level", wrong, decided)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// QueryKind names the three HIT types in transcripts.
+type QueryKind string
+
+// Transcript query kinds.
+const (
+	KindPoint   QueryKind = "point"
+	KindSet     QueryKind = "set"
+	KindReverse QueryKind = "reverse-set"
+)
+
+// QueryRecord is one oracle interaction of an audit transcript.
+type QueryRecord struct {
+	Seq    int
+	Kind   QueryKind
+	IDs    []dataset.ObjectID
+	Group  string
+	Answer bool  // set / reverse-set answer
+	Labels []int // point answer
+}
+
+// RecordingOracle wraps an Oracle and records every interaction: the
+// audit transcript a deployment keeps for billing disputes, replay
+// debugging, and posterior quality analysis. Safe for concurrent use.
+type RecordingOracle struct {
+	Inner Oracle
+
+	mu      sync.Mutex
+	records []QueryRecord
+}
+
+// NewRecordingOracle wraps an oracle.
+func NewRecordingOracle(inner Oracle) *RecordingOracle {
+	return &RecordingOracle{Inner: inner}
+}
+
+func (r *RecordingOracle) append(rec QueryRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.Seq = len(r.records)
+	r.records = append(r.records, rec)
+}
+
+// SetQuery implements Oracle.
+func (r *RecordingOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	ans, err := r.Inner.SetQuery(ids, g)
+	if err != nil {
+		return ans, err
+	}
+	r.append(QueryRecord{Kind: KindSet, IDs: cloneIDs(ids), Group: g.String(), Answer: ans})
+	return ans, nil
+}
+
+// ReverseSetQuery implements Oracle.
+func (r *RecordingOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	ans, err := r.Inner.ReverseSetQuery(ids, g)
+	if err != nil {
+		return ans, err
+	}
+	r.append(QueryRecord{Kind: KindReverse, IDs: cloneIDs(ids), Group: g.String(), Answer: ans})
+	return ans, nil
+}
+
+// PointQuery implements Oracle.
+func (r *RecordingOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	labels, err := r.Inner.PointQuery(id)
+	if err != nil {
+		return labels, err
+	}
+	cp := make([]int, len(labels))
+	copy(cp, labels)
+	r.append(QueryRecord{Kind: KindPoint, IDs: []dataset.ObjectID{id}, Labels: cp})
+	return labels, nil
+}
+
+// Records returns a copy of the transcript so far.
+func (r *RecordingOracle) Records() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryRecord, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// WriteCSV emits the transcript as seq,kind,group,size,answer rows.
+func (r *RecordingOracle) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "kind", "group", "size", "answer"}); err != nil {
+		return err
+	}
+	for _, rec := range r.Records() {
+		answer := strconv.FormatBool(rec.Answer)
+		if rec.Kind == KindPoint {
+			parts := make([]string, len(rec.Labels))
+			for i, l := range rec.Labels {
+				parts[i] = strconv.Itoa(l)
+			}
+			answer = strings.Join(parts, "|")
+		}
+		row := []string{
+			strconv.Itoa(rec.Seq), string(rec.Kind), rec.Group,
+			strconv.Itoa(len(rec.IDs)), answer,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func cloneIDs(ids []dataset.ObjectID) []dataset.ObjectID {
+	out := make([]dataset.ObjectID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// ReplayOracle re-answers a recorded transcript positionally: the
+// i-th query of the re-run gets the i-th recorded answer, after a
+// consistency check on kind and set size. It lets a recorded audit be
+// re-executed deterministically — e.g. to debug algorithm changes
+// against a paid crowd transcript without paying again.
+type ReplayOracle struct {
+	records []QueryRecord
+	next    int
+	mu      sync.Mutex
+}
+
+// NewReplayOracle builds a replay oracle over a transcript.
+func NewReplayOracle(records []QueryRecord) *ReplayOracle {
+	cp := make([]QueryRecord, len(records))
+	copy(cp, records)
+	return &ReplayOracle{records: cp}
+}
+
+// ErrTranscriptExhausted is returned when the re-run issues more
+// queries than the transcript holds.
+var ErrTranscriptExhausted = errors.New("core: transcript exhausted")
+
+// ErrTranscriptMismatch is returned when the re-run's query shape
+// diverges from the recording.
+var ErrTranscriptMismatch = errors.New("core: transcript mismatch")
+
+func (r *ReplayOracle) take(kind QueryKind, size int) (QueryRecord, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next >= len(r.records) {
+		return QueryRecord{}, ErrTranscriptExhausted
+	}
+	rec := r.records[r.next]
+	if rec.Kind != kind || len(rec.IDs) != size {
+		return QueryRecord{}, fmt.Errorf("%w: query %d is %s/%d, recorded %s/%d",
+			ErrTranscriptMismatch, r.next, kind, size, rec.Kind, len(rec.IDs))
+	}
+	r.next++
+	return rec, nil
+}
+
+// SetQuery implements Oracle.
+func (r *ReplayOracle) SetQuery(ids []dataset.ObjectID, _ pattern.Group) (bool, error) {
+	rec, err := r.take(KindSet, len(ids))
+	return rec.Answer, err
+}
+
+// ReverseSetQuery implements Oracle.
+func (r *ReplayOracle) ReverseSetQuery(ids []dataset.ObjectID, _ pattern.Group) (bool, error) {
+	rec, err := r.take(KindReverse, len(ids))
+	return rec.Answer, err
+}
+
+// PointQuery implements Oracle.
+func (r *ReplayOracle) PointQuery(dataset.ObjectID) ([]int, error) {
+	rec, err := r.take(KindPoint, 1)
+	return rec.Labels, err
+}
+
+// Remaining returns how many recorded answers are left.
+func (r *ReplayOracle) Remaining() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records) - r.next
+}

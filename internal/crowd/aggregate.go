@@ -1,0 +1,120 @@
+package crowd
+
+import (
+	"errors"
+	"math"
+)
+
+// Aggregator infers the truth of one yes/no HIT from redundant worker
+// answers. Implementations must be deterministic given the answers.
+type Aggregator interface {
+	// AggregateBool returns the inferred answer. workers[i] gave
+	// answers[i]; both slices have equal nonzero length.
+	AggregateBool(workers []*Worker, answers []bool) bool
+	// Name identifies the aggregator in reports.
+	Name() string
+}
+
+// MajorityVote is the paper's default quality-control strategy [63]:
+// the answer given by more than half of the workers wins; ties break
+// toward "yes" (conservative for coverage: a spurious yes costs extra
+// queries, a spurious no silently prunes data).
+type MajorityVote struct{}
+
+// Name implements Aggregator.
+func (MajorityVote) Name() string { return "majority-vote" }
+
+// AggregateBool implements Aggregator.
+func (MajorityVote) AggregateBool(_ []*Worker, answers []bool) bool {
+	yes := 0
+	for _, a := range answers {
+		if a {
+			yes++
+		}
+	}
+	return 2*yes >= len(answers)
+}
+
+// WeightedVote weights each worker's answer by the log-odds of their
+// estimated accuracy, the optimal rule when per-worker accuracies are
+// known [60]. Estimates start at Prior and are updated online against
+// the weighted consensus, so reliable workers gain influence over the
+// course of an audit.
+type WeightedVote struct {
+	// Prior is the initial accuracy estimate for unseen workers.
+	Prior float64
+	// acc tracks (correct, total) per worker ID with Laplace smoothing.
+	correct map[int]float64
+	total   map[int]float64
+}
+
+// NewWeightedVote returns a weighted-vote aggregator with the given
+// prior accuracy (e.g. 0.9).
+func NewWeightedVote(prior float64) *WeightedVote {
+	return &WeightedVote{Prior: prior, correct: map[int]float64{}, total: map[int]float64{}}
+}
+
+// Name implements Aggregator.
+func (v *WeightedVote) Name() string { return "weighted-vote" }
+
+// estimate returns the current accuracy estimate of a worker, clamped
+// away from 0 and 1 so log-odds stay finite.
+func (v *WeightedVote) estimate(id int) float64 {
+	t := v.total[id]
+	// Laplace smoothing around the prior with pseudo-count 2.
+	p := (v.correct[id] + 2*v.Prior) / (t + 2)
+	return math.Min(0.99, math.Max(0.01, p))
+}
+
+// AggregateBool implements Aggregator.
+func (v *WeightedVote) AggregateBool(workers []*Worker, answers []bool) bool {
+	score := 0.0
+	for i, w := range workers {
+		p := v.estimate(w.ID)
+		weight := math.Log(p / (1 - p))
+		if answers[i] {
+			score += weight
+		} else {
+			score -= weight
+		}
+	}
+	verdict := score >= 0
+	for i, w := range workers {
+		v.total[w.ID]++
+		if answers[i] == verdict {
+			v.correct[w.ID]++
+		}
+	}
+	return verdict
+}
+
+// AggregateLabels infers one label vector from redundant point-query
+// answers by per-attribute plurality (first-seen value wins ties).
+func AggregateLabels(answers [][]int) ([]int, error) {
+	if len(answers) == 0 {
+		return nil, errors.New("crowd: no answers to aggregate")
+	}
+	d := len(answers[0])
+	out := make([]int, d)
+	for attr := 0; attr < d; attr++ {
+		counts := map[int]int{}
+		order := []int{}
+		for _, a := range answers {
+			if len(a) != d {
+				return nil, errors.New("crowd: ragged point answers")
+			}
+			if counts[a[attr]] == 0 {
+				order = append(order, a[attr])
+			}
+			counts[a[attr]]++
+		}
+		best, bestN := order[0], counts[order[0]]
+		for _, v := range order[1:] {
+			if counts[v] > bestN {
+				best, bestN = v, counts[v]
+			}
+		}
+		out[attr] = best
+	}
+	return out, nil
+}

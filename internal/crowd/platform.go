@@ -1,0 +1,245 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/imagegen"
+	"imagecvg/internal/pattern"
+)
+
+// Config tunes a simulated platform deployment.
+type Config struct {
+	// Assignments is the redundancy per HIT (the paper uses 3).
+	Assignments int
+	// PricePerHIT is the fixed price of one assignment; ignored when
+	// Pricing is set.
+	PricePerHIT float64
+	// Pricing optionally replaces fixed pricing with another model
+	// (SizePricing, PostedPricing, BiddingPricing, ...).
+	Pricing Pricing
+	// FeeRate is the platform's surcharge on worker payouts.
+	FeeRate float64
+	// SetSizeLimit bounds the number of images in one set query
+	// (0 disables the check). The paper keeps sets at n=50 "to present
+	// a reasonable workload".
+	SetSizeLimit int
+	// Aggregator infers truth from redundant answers; nil means
+	// MajorityVote.
+	Aggregator Aggregator
+	// Qualification, when non-nil, is administered to each worker
+	// before they may accept HITs.
+	Qualification *QualificationTest
+	// Rating, when non-nil, excludes workers below its thresholds.
+	Rating *RatingFilter
+	// Profile configures the worker pool.
+	Profile PoolProfile
+	// Seed drives all platform randomness.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's deployment: 3 assignments per HIT,
+// $0.10 fixed price, 20 % platform fee, majority vote, a pool of 30
+// typical workers.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Assignments: 3,
+		PricePerHIT: 0.10,
+		FeeRate:     0.20,
+		Aggregator:  MajorityVote{},
+		Profile:     DefaultProfile(30),
+		Seed:        seed,
+	}
+}
+
+// Platform is the simulated crowdsourcing marketplace bound to one
+// dataset. It renders each object as a glyph once, routes HITs to
+// randomly drawn eligible workers, aggregates their answers, and
+// accounts every HIT in a ledger.
+//
+// Platform implements the core.Oracle interface.
+type Platform struct {
+	ds       *dataset.Dataset
+	renderer *imagegen.Renderer
+	glyphs   map[dataset.ObjectID]imagegen.Glyph
+	cfg      Config
+	pool     []*Worker
+	eligible []*Worker
+	ledger   *Ledger
+	rng      *rand.Rand
+}
+
+// NewPlatform builds a platform over the dataset: generates the worker
+// pool, applies the configured quality controls, and pre-renders every
+// object's glyph.
+func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
+	if ds == nil {
+		return nil, errors.New("crowd: nil dataset")
+	}
+	if cfg.Assignments <= 0 {
+		return nil, fmt.Errorf("crowd: assignments %d", cfg.Assignments)
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = MajorityVote{}
+	}
+	if cfg.Pricing == nil {
+		cfg.Pricing = FixedPricing{Price: cfg.PricePerHIT}
+	}
+	renderer, err := imagegen.NewRenderer(ds.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool, err := NewPool(cfg.Profile, rng)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		ds:       ds,
+		renderer: renderer,
+		glyphs:   make(map[dataset.ObjectID]imagegen.Glyph, ds.Size()),
+		cfg:      cfg,
+		pool:     pool,
+		ledger:   NewLedger(cfg.FeeRate),
+		rng:      rng,
+	}
+	for i := 0; i < ds.Size(); i++ {
+		o := ds.At(i)
+		g, err := renderer.Render(o.Labels, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.glyphs[o.ID] = g
+	}
+	for _, w := range pool {
+		if cfg.Rating != nil && !cfg.Rating.Eligible(w) {
+			continue
+		}
+		if cfg.Qualification != nil {
+			pass, err := cfg.Qualification.Administer(w, renderer, rng)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		p.eligible = append(p.eligible, w)
+	}
+	if len(p.eligible) == 0 {
+		return nil, errors.New("crowd: no eligible workers after quality control")
+	}
+	return p, nil
+}
+
+// Ledger returns the platform's cost ledger.
+func (p *Platform) Ledger() *Ledger { return p.ledger }
+
+// EligibleWorkers returns how many workers survived quality control.
+func (p *Platform) EligibleWorkers() int { return len(p.eligible) }
+
+// PoolSize returns the total worker pool size.
+func (p *Platform) PoolSize() int { return len(p.pool) }
+
+// draw picks the redundancy set of workers for one HIT, without
+// replacement when the eligible pool allows it.
+func (p *Platform) draw() []*Worker {
+	k := p.cfg.Assignments
+	if k <= len(p.eligible) {
+		out := make([]*Worker, k)
+		for i, idx := range p.rng.Perm(len(p.eligible))[:k] {
+			out[i] = p.eligible[idx]
+		}
+		return out
+	}
+	out := make([]*Worker, k)
+	for i := range out {
+		out[i] = p.eligible[p.rng.Intn(len(p.eligible))]
+	}
+	return out
+}
+
+func (p *Platform) glyphsFor(ids []dataset.ObjectID) ([]imagegen.Glyph, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("crowd: empty query set")
+	}
+	if p.cfg.SetSizeLimit > 0 && len(ids) > p.cfg.SetSizeLimit {
+		return nil, fmt.Errorf("crowd: set query of %d images exceeds limit %d", len(ids), p.cfg.SetSizeLimit)
+	}
+	out := make([]imagegen.Glyph, len(ids))
+	for i, id := range ids {
+		g, ok := p.glyphs[id]
+		if !ok {
+			return nil, fmt.Errorf("crowd: unknown object %d", id)
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// SetQuery publishes the HIT "does this set contain at least one image
+// of group g?" and returns the aggregated answer.
+func (p *Platform) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return p.setQuery(ids, g, false)
+}
+
+// ReverseSetQuery publishes "does this set contain at least one image
+// NOT in group g?" and returns the aggregated answer.
+func (p *Platform) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return p.setQuery(ids, g, true)
+}
+
+func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse bool) (bool, error) {
+	glyphs, err := p.glyphsFor(ids)
+	if err != nil {
+		return false, err
+	}
+	workers := p.draw()
+	answers := make([]bool, len(workers))
+	for i, w := range workers {
+		ans := false
+		for _, gl := range glyphs {
+			labels := w.perceiveLabels(p.renderer, gl)
+			match := g.Matches(labels)
+			if reverse {
+				match = !match
+			}
+			if match {
+				ans = true
+				break
+			}
+		}
+		if w.slip() {
+			ans = !ans
+		}
+		answers[i] = ans
+	}
+	kind := SetQuery
+	if reverse {
+		kind = ReverseSetQuery
+	}
+	p.ledger.Record(kind, len(workers), p.cfg.Pricing.AssignmentPrice(kind, len(ids)))
+	return p.cfg.Aggregator.AggregateBool(workers, answers), nil
+}
+
+// PointQuery publishes the HIT "what are the attribute values of this
+// image?" and returns the aggregated label vector.
+func (p *Platform) PointQuery(id dataset.ObjectID) ([]int, error) {
+	glyphs, err := p.glyphsFor([]dataset.ObjectID{id})
+	if err != nil {
+		return nil, err
+	}
+	workers := p.draw()
+	answers := make([][]int, len(workers))
+	for i, w := range workers {
+		labels := w.perceiveLabels(p.renderer, glyphs[0])
+		if w.slip() {
+			labels = corruptOneAttr(labels, p.ds.Schema(), w.rng)
+		}
+		answers[i] = labels
+	}
+	p.ledger.Record(PointQuery, len(workers), p.cfg.Pricing.AssignmentPrice(PointQuery, 1))
+	return AggregateLabels(answers)
+}

@@ -1,0 +1,75 @@
+package crowd
+
+import "math"
+
+// The paper adopts the fixed-price model and leaves richer pricing to
+// future work (section 8), citing bidding [52] and posted-price [53]
+// mechanisms. This file implements simple versions of both so audits
+// can be costed under them; the audit algorithms are unaffected (they
+// minimize task counts regardless of the per-task price).
+
+// SizePricing pays per image shown: a base price plus a per-object
+// rate, a common compromise between fixed pricing and effort-fair
+// payment for large set queries.
+type SizePricing struct {
+	Base     float64
+	PerImage float64
+}
+
+// AssignmentPrice implements Pricing.
+func (p SizePricing) AssignmentPrice(kind QueryKind, setSize int) float64 {
+	if kind == PointQuery {
+		return p.Base + p.PerImage
+	}
+	return p.Base + p.PerImage*float64(setSize)
+}
+
+// PostedPricing models a posted-price mechanism in the spirit of
+// Singla & Krause [53]: the requester posts a price; workers whose
+// private reservation price is below it accept. The simulator prices
+// each assignment at the posted value and exposes the expected
+// acceptance probability so deployments can check whether enough
+// workers would take the task.
+type PostedPricing struct {
+	// Posted is the take-it-or-leave-it price per assignment.
+	Posted float64
+	// ReservationMean is the mean of the (exponential) reservation
+	// price distribution across the worker population.
+	ReservationMean float64
+}
+
+// AssignmentPrice implements Pricing.
+func (p PostedPricing) AssignmentPrice(QueryKind, int) float64 { return p.Posted }
+
+// AcceptanceProbability returns the probability that a random worker
+// accepts the posted price, assuming exponentially distributed
+// reservation prices.
+func (p PostedPricing) AcceptanceProbability() float64 {
+	if p.ReservationMean <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-p.Posted/p.ReservationMean)
+}
+
+// BiddingPricing models a sealed-bid reverse auction in the spirit of
+// Singer & Mittal [52]: each assignment is priced at the expected
+// k-th lowest bid among Bidders workers whose bids are uniform on
+// [Min, Max]. With k = Assignments winners paid the clearing bid, the
+// expected price of the marginal winner is
+//
+//	Min + (Max-Min) * k/(Bidders+1)
+//
+// (the k-th order statistic of the uniform distribution).
+type BiddingPricing struct {
+	Min, Max float64
+	Bidders  int
+	Winners  int
+}
+
+// AssignmentPrice implements Pricing.
+func (p BiddingPricing) AssignmentPrice(QueryKind, int) float64 {
+	if p.Bidders <= 0 || p.Winners <= 0 || p.Winners > p.Bidders || p.Max < p.Min {
+		return p.Min
+	}
+	return p.Min + (p.Max-p.Min)*float64(p.Winners)/float64(p.Bidders+1)
+}

@@ -1,0 +1,75 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedPricing(t *testing.T) {
+	p := FixedPricing{Price: 0.1}
+	if p.AssignmentPrice(SetQuery, 50) != 0.1 || p.AssignmentPrice(PointQuery, 1) != 0.1 {
+		t.Error("fixed pricing must ignore the HIT")
+	}
+}
+
+func TestSizePricing(t *testing.T) {
+	p := SizePricing{Base: 0.02, PerImage: 0.001}
+	if got := p.AssignmentPrice(SetQuery, 50); math.Abs(got-0.07) > 1e-12 {
+		t.Errorf("set price = %f, want 0.07", got)
+	}
+	if got := p.AssignmentPrice(PointQuery, 1); math.Abs(got-0.021) > 1e-12 {
+		t.Errorf("point price = %f, want 0.021", got)
+	}
+	if got := p.AssignmentPrice(ReverseSetQuery, 10); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("reverse price = %f, want 0.03", got)
+	}
+}
+
+func TestPostedPricing(t *testing.T) {
+	p := PostedPricing{Posted: 0.05, ReservationMean: 0.05}
+	if p.AssignmentPrice(SetQuery, 50) != 0.05 {
+		t.Error("posted price wrong")
+	}
+	acc := p.AcceptanceProbability()
+	want := 1 - math.Exp(-1)
+	if math.Abs(acc-want) > 1e-12 {
+		t.Errorf("acceptance = %f, want %f", acc, want)
+	}
+	// Higher posted price, higher acceptance.
+	higher := PostedPricing{Posted: 0.2, ReservationMean: 0.05}
+	if higher.AcceptanceProbability() <= acc {
+		t.Error("acceptance must grow with the posted price")
+	}
+	free := PostedPricing{Posted: 0.1}
+	if free.AcceptanceProbability() != 1 {
+		t.Error("zero reservation mean means everyone accepts")
+	}
+}
+
+func TestBiddingPricing(t *testing.T) {
+	p := BiddingPricing{Min: 0.02, Max: 0.12, Bidders: 9, Winners: 3}
+	// 3rd order statistic of U[0.02,0.12] over 9 bidders:
+	// 0.02 + 0.1*3/10 = 0.05.
+	if got := p.AssignmentPrice(SetQuery, 50); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("bid price = %f, want 0.05", got)
+	}
+	// More competition lowers the clearing price.
+	more := BiddingPricing{Min: 0.02, Max: 0.12, Bidders: 29, Winners: 3}
+	if more.AssignmentPrice(SetQuery, 50) >= p.AssignmentPrice(SetQuery, 50) {
+		t.Error("more bidders must lower the price")
+	}
+	// Degenerate configurations fall back to Min.
+	bad := BiddingPricing{Min: 0.02, Max: 0.12, Bidders: 0, Winners: 3}
+	if bad.AssignmentPrice(SetQuery, 50) != 0.02 {
+		t.Error("degenerate auction must fall back to Min")
+	}
+}
+
+func TestLedgerWithSizePricing(t *testing.T) {
+	l := NewLedger(0.2)
+	p := SizePricing{Base: 0.02, PerImage: 0.001}
+	l.Record(SetQuery, 3, p.AssignmentPrice(SetQuery, 50))
+	if math.Abs(l.WorkerCost()-0.21) > 1e-12 {
+		t.Errorf("worker cost = %f, want 0.21", l.WorkerCost())
+	}
+}

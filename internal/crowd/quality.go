@@ -1,0 +1,97 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/imagegen"
+	"imagecvg/internal/pattern"
+)
+
+// QualificationTest screens workers before they may accept HITs, as in
+// the paper's MTurk deployment: a battery of glyph-labeling questions
+// with known answers; workers below the pass mark are excluded.
+type QualificationTest struct {
+	// Questions is the number of test questions.
+	Questions int
+	// PassFraction is the minimum fraction of correct answers.
+	PassFraction float64
+}
+
+// DefaultQualification mirrors the deployment: 10 questions, 80 % to pass.
+func DefaultQualification() *QualificationTest {
+	return &QualificationTest{Questions: 10, PassFraction: 0.8}
+}
+
+// Administer runs the test for one worker against a renderer and
+// returns whether they pass. Each question shows the glyph of a random
+// subgroup and asks for its labels.
+func (q *QualificationTest) Administer(w *Worker, r *imagegen.Renderer, rng *rand.Rand) (bool, error) {
+	if q.Questions <= 0 || q.PassFraction < 0 || q.PassFraction > 1 {
+		return false, fmt.Errorf("crowd: invalid qualification test %+v", q)
+	}
+	s := r.Schema()
+	correct := 0
+	for i := 0; i < q.Questions; i++ {
+		labels := []int(pattern.SubgroupAt(s, rng.Intn(s.NumSubgroups())))
+		g, err := r.Render(labels, 0, nil)
+		if err != nil {
+			return false, err
+		}
+		got := w.perceiveLabels(r, g)
+		if w.slip() {
+			// A slip on the test corrupts one attribute.
+			got = corruptOneAttr(got, s, w.rng)
+		}
+		if equalLabels(got, labels) {
+			correct++
+		}
+	}
+	return float64(correct) >= q.PassFraction*float64(q.Questions), nil
+}
+
+// RatingFilter excludes workers below reputation thresholds, matching
+// the paper's PercentAssignmentsApproved >= 95 and
+// NumberHITsApproved >= 100 criteria.
+type RatingFilter struct {
+	MinApprovalPercent float64
+	MinApprovedHITs    int
+}
+
+// DefaultRating mirrors the paper's thresholds.
+func DefaultRating() *RatingFilter {
+	return &RatingFilter{MinApprovalPercent: 95, MinApprovedHITs: 100}
+}
+
+// Eligible reports whether the worker meets the thresholds.
+func (f *RatingFilter) Eligible(w *Worker) bool {
+	return w.ApprovalPercent >= f.MinApprovalPercent && w.ApprovedHITs >= f.MinApprovedHITs
+}
+
+func corruptOneAttr(labels []int, s *pattern.Schema, rng *rand.Rand) []int {
+	out := make([]int, len(labels))
+	copy(out, labels)
+	attr := rng.Intn(len(out))
+	c := s.Attr(attr).Cardinality()
+	if c < 2 {
+		return out
+	}
+	v := rng.Intn(c - 1)
+	if v >= out[attr] {
+		v++
+	}
+	out[attr] = v
+	return out
+}
+
+func equalLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

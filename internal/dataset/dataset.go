@@ -1,0 +1,186 @@
+// Package dataset models the unlabeled image collections the paper
+// audits: every object carries hidden ground-truth demographic labels
+// that the auditing algorithms must never read directly — only the
+// crowd simulator (or a perfect oracle standing in for it) may look at
+// them. The package also provides the synthetic generators used by the
+// experiments, including compositions matching the FERET and UTKFace
+// slices reported in the paper.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/pattern"
+)
+
+// ObjectID identifies one object (image) of a dataset. IDs are stable
+// under shuffling: they name the object, not its position.
+type ObjectID int
+
+// Object is a single image with its hidden ground-truth labels (one
+// value index per schema attribute).
+type Object struct {
+	ID     ObjectID
+	Labels []int
+}
+
+// Dataset is an ordered collection of objects over a schema of
+// attributes of interest. The order matters: the divide-and-conquer
+// algorithms issue set queries over contiguous index ranges, so a
+// shuffle changes which objects share a query.
+type Dataset struct {
+	schema  *pattern.Schema
+	objects []Object
+	byID    map[ObjectID]int
+}
+
+// New builds a dataset whose i-th object gets ID i and the i-th label
+// vector. Label vectors are validated against the schema.
+func New(s *pattern.Schema, labels [][]int) (*Dataset, error) {
+	if s == nil {
+		return nil, errors.New("dataset: nil schema")
+	}
+	d := &Dataset{
+		schema:  s,
+		objects: make([]Object, len(labels)),
+		byID:    make(map[ObjectID]int, len(labels)),
+	}
+	for i, l := range labels {
+		if !s.ValidLabels(l) {
+			return nil, fmt.Errorf("dataset: object %d has invalid labels %v", i, l)
+		}
+		cp := make([]int, len(l))
+		copy(cp, l)
+		d.objects[i] = Object{ID: ObjectID(i), Labels: cp}
+		d.byID[ObjectID(i)] = i
+	}
+	return d, nil
+}
+
+// MustNew is like New but panics on error; for tests and examples.
+func MustNew(s *pattern.Schema, labels [][]int) *Dataset {
+	d, err := New(s, labels)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Schema returns the dataset's attribute schema.
+func (d *Dataset) Schema() *pattern.Schema { return d.schema }
+
+// Size returns N, the number of objects.
+func (d *Dataset) Size() int { return len(d.objects) }
+
+// At returns the object at position i in the current order.
+func (d *Dataset) At(i int) Object { return d.objects[i] }
+
+// ByID returns the object with the given ID.
+func (d *Dataset) ByID(id ObjectID) (Object, bool) {
+	i, ok := d.byID[id]
+	if !ok {
+		return Object{}, false
+	}
+	return d.objects[i], true
+}
+
+// TrueLabels returns the hidden ground-truth labels of an object.
+// Only oracles (crowd simulator, classifiers, evaluation code) should
+// call this; audit algorithms must not.
+func (d *Dataset) TrueLabels(id ObjectID) ([]int, bool) {
+	o, ok := d.ByID(id)
+	if !ok {
+		return nil, false
+	}
+	return o.Labels, true
+}
+
+// IDs returns the object IDs in the current dataset order.
+func (d *Dataset) IDs() []ObjectID {
+	out := make([]ObjectID, len(d.objects))
+	for i, o := range d.objects {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// Shuffle permutes the object order in place with the given source of
+// randomness. IDs are preserved; only positions change.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.objects), func(i, j int) {
+		d.objects[i], d.objects[j] = d.objects[j], d.objects[i]
+	})
+	for i, o := range d.objects {
+		d.byID[o.ID] = i
+	}
+}
+
+// Sample returns k distinct object IDs drawn uniformly without
+// replacement. It panics if k exceeds the dataset size.
+func (d *Dataset) Sample(k int, rng *rand.Rand) []ObjectID {
+	if k > len(d.objects) {
+		panic(fmt.Sprintf("dataset: sample %d from %d objects", k, len(d.objects)))
+	}
+	perm := rng.Perm(len(d.objects))[:k]
+	out := make([]ObjectID, k)
+	for i, p := range perm {
+		out[i] = d.objects[p].ID
+	}
+	return out
+}
+
+// CountGroup returns the ground-truth number of objects in the group.
+// Evaluation-only: audit algorithms must obtain counts via queries.
+func (d *Dataset) CountGroup(g pattern.Group) int {
+	n := 0
+	for _, o := range d.objects {
+		if g.Matches(o.Labels) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountPattern returns the ground-truth number of objects matching p.
+func (d *Dataset) CountPattern(p pattern.Pattern) int {
+	return d.CountGroup(pattern.Group{Members: []pattern.Pattern{p}})
+}
+
+// SubgroupCounts returns ground-truth counts for every fully-specified
+// subgroup, indexed by pattern.SubgroupIndex.
+func (d *Dataset) SubgroupCounts() []int {
+	counts := make([]int, d.schema.NumSubgroups())
+	for _, o := range d.objects {
+		counts[pattern.SubgroupIndex(d.schema, pattern.Point(o.Labels))]++
+	}
+	return counts
+}
+
+// Covered reports ground-truth coverage of g at threshold tau.
+func (d *Dataset) Covered(g pattern.Group, tau int) bool {
+	return d.CountGroup(g) >= tau
+}
+
+// Slice returns a new dataset over the same schema containing only the
+// objects with the given IDs (in the given order). IDs are preserved.
+func (d *Dataset) Slice(ids []ObjectID) (*Dataset, error) {
+	out := &Dataset{
+		schema:  d.schema,
+		objects: make([]Object, 0, len(ids)),
+		byID:    make(map[ObjectID]int, len(ids)),
+	}
+	for _, id := range ids {
+		o, ok := d.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown object %d", id)
+		}
+		if _, dup := out.byID[id]; dup {
+			return nil, fmt.Errorf("dataset: duplicate object %d", id)
+		}
+		out.byID[id] = len(out.objects)
+		out.objects = append(out.objects, o)
+	}
+	return out, nil
+}

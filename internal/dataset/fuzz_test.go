@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hardens the dataset loader: arbitrary bytes must either
+// fail cleanly or produce a dataset that re-serializes and re-parses to
+// the same composition. Seeds run in every plain `go test`.
+func FuzzReadJSON(f *testing.F) {
+	var good bytes.Buffer
+	d := MustNew(GenderSchema(), [][]int{{0}, {1}, {0}})
+	if err := d.WriteJSON(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"attributes":[],"labels":[]}`))
+	f.Add([]byte(`{"attributes":[{"name":"g","values":["a","b"]}],"labels":[[5]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Size() != ds.Size() {
+			t.Fatalf("round trip changed size %d -> %d", ds.Size(), again.Size())
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"imagecvg/internal/pattern"
+)
+
+// fileFormat is the on-disk JSON representation of a dataset: the
+// schema plus one label vector per object in the current order.
+type fileFormat struct {
+	Attributes []attrFormat `json:"attributes"`
+	Labels     [][]int      `json:"labels"`
+}
+
+type attrFormat struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// WriteJSON serializes the dataset (schema and hidden labels).
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Labels: make([][]int, d.Size())}
+	for _, a := range d.schema.Attrs() {
+		ff.Attributes = append(ff.Attributes, attrFormat{Name: a.Name, Values: a.Values})
+	}
+	for i := 0; i < d.Size(); i++ {
+		ff.Labels[i] = d.At(i).Labels
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	attrs := make([]pattern.Attribute, len(ff.Attributes))
+	for i, a := range ff.Attributes {
+		attrs[i] = pattern.Attribute{Name: a.Name, Values: a.Values}
+	}
+	s, err := pattern.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, ff.Labels)
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a dataset from a file.
+func LoadJSON(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// WriteCSV emits a header row (id plus attribute names) followed by
+// one row per object with human-readable value names.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id"}
+	for _, a := range d.schema.Attrs() {
+		header = append(header, a.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < d.Size(); i++ {
+		o := d.At(i)
+		row := []string{strconv.Itoa(int(o.ID))}
+		for j, v := range o.Labels {
+			row = append(row, d.schema.Attr(j).Values[v])
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

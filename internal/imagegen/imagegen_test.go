@@ -1,0 +1,206 @@
+package imagegen
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/pattern"
+)
+
+func genderRace() *pattern.Schema {
+	return pattern.MustSchema(
+		pattern.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		pattern.Attribute{Name: "race", Values: []string{"white", "black", "hispanic", "asian"}},
+	)
+}
+
+func TestNewRendererValidation(t *testing.T) {
+	tooMany := pattern.MustSchema(
+		pattern.Attribute{Name: "a", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "c", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "d", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "e", Values: []string{"0", "1"}},
+	)
+	if _, err := NewRenderer(tooMany); err == nil {
+		t.Error("5 attributes: want error")
+	}
+	wide := pattern.MustSchema(pattern.Attribute{
+		Name: "a", Values: []string{"0", "1", "2", "3", "4", "5", "6"},
+	})
+	if _, err := NewRenderer(wide); err == nil {
+		t.Error("cardinality 7: want error")
+	}
+	if _, err := NewRenderer(genderRace()); err != nil {
+		t.Errorf("gender x race should render: %v", err)
+	}
+}
+
+func TestCleanRoundTripAllSubgroups(t *testing.T) {
+	schemas := []*pattern.Schema{
+		pattern.Binary("gender", "male", "female"),
+		genderRace(),
+		pattern.MustSchema(
+			pattern.Attribute{Name: "shape", Values: []string{"a", "b", "c", "d", "e", "f"}},
+			pattern.Attribute{Name: "shade", Values: []string{"a", "b", "c", "d", "e", "f"}},
+			pattern.Attribute{Name: "marks", Values: []string{"a", "b", "c", "d"}},
+			pattern.Attribute{Name: "border", Values: []string{"a", "b", "c"}},
+		),
+	}
+	for si, s := range schemas {
+		r, err := NewRenderer(s)
+		if err != nil {
+			t.Fatalf("schema %d: %v", si, err)
+		}
+		for idx := 0; idx < s.NumSubgroups(); idx++ {
+			labels := []int(pattern.SubgroupAt(s, idx))
+			g, err := r.Render(labels, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := r.Decode(g)
+			for i := range labels {
+				if got[i] != labels[i] {
+					t.Fatalf("schema %d subgroup %v decoded as %v", si, labels, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderValidatesLabels(t *testing.T) {
+	r, _ := NewRenderer(genderRace())
+	if _, err := r.Render([]int{9, 0}, 0, nil); err == nil {
+		t.Error("invalid labels: want error")
+	}
+}
+
+func TestNoisyRoundTripMostlyCorrect(t *testing.T) {
+	// With moderate noise the decoder should almost always recover the
+	// labels — the paper's premise that the tasks are easy for humans.
+	s := genderRace()
+	r, _ := NewRenderer(s)
+	rng := rand.New(rand.NewSource(11))
+	trials, correct := 500, 0
+	for i := 0; i < trials; i++ {
+		labels := []int(pattern.SubgroupAt(s, rng.Intn(s.NumSubgroups())))
+		g, err := r.Render(labels, 25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.Decode(g)
+		ok := true
+		for j := range labels {
+			if got[j] != labels[j] {
+				ok = false
+			}
+		}
+		if ok {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(trials); frac < 0.97 {
+		t.Errorf("noisy decode accuracy %.3f, want >= 0.97", frac)
+	}
+}
+
+func TestHeavyNoiseCausesErrors(t *testing.T) {
+	// Sanity check that the noise channel is real: enormous noise must
+	// produce at least some decoding mistakes.
+	s := genderRace()
+	r, _ := NewRenderer(s)
+	rng := rand.New(rand.NewSource(12))
+	errors := 0
+	for i := 0; i < 300; i++ {
+		labels := []int(pattern.SubgroupAt(s, rng.Intn(s.NumSubgroups())))
+		got := r.Perceive(mustRender(t, r, labels, 0, nil), 300, rng)
+		for j := range labels {
+			if got[j] != labels[j] {
+				errors++
+				break
+			}
+		}
+	}
+	if errors == 0 {
+		t.Error("noise 300 never flipped a decode; channel is fake")
+	}
+}
+
+func mustRender(t *testing.T, r *Renderer, labels []int, noise float64, rng *rand.Rand) Glyph {
+	t.Helper()
+	g, err := r.Render(labels, noise, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPerceiveNoNoiseEqualsDecode(t *testing.T) {
+	s := genderRace()
+	r, _ := NewRenderer(s)
+	g := mustRender(t, r, []int{1, 3}, 0, nil)
+	got := r.Perceive(g, 0, nil)
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("Perceive = %v, want [1 3]", got)
+	}
+}
+
+func TestTemplatesDistinct(t *testing.T) {
+	s := genderRace()
+	r, _ := NewRenderer(s)
+	for i := 0; i < s.NumSubgroups(); i++ {
+		for j := i + 1; j < s.NumSubgroups(); j++ {
+			if distance(&r.templates[i], &r.templates[j]) == 0 {
+				t.Errorf("subgroups %d and %d render identically", i, j)
+			}
+		}
+	}
+}
+
+func TestPGMAndPNGEncoding(t *testing.T) {
+	s := genderRace()
+	r, _ := NewRenderer(s)
+	g := mustRender(t, r, []int{0, 2}, 0, nil)
+
+	var pgm bytes.Buffer
+	if err := g.WritePGM(&pgm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(pgm.Bytes(), []byte("P5\n16 16\n255\n")) {
+		t.Errorf("PGM header wrong: %q", pgm.Bytes()[:20])
+	}
+	if pgm.Len() != len("P5\n16 16\n255\n")+Size*Size {
+		t.Errorf("PGM length = %d", pgm.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := g.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != Size || img.Bounds().Dy() != Size {
+		t.Errorf("PNG bounds = %v", img.Bounds())
+	}
+}
+
+func TestGlyphAccessors(t *testing.T) {
+	var g Glyph
+	g.Set(3, 5, 200)
+	if g.At(3, 5) != 200 {
+		t.Error("Set/At mismatch")
+	}
+	if g.Image().GrayAt(3, 5).Y != 200 {
+		t.Error("Image() lost pixel")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp8(-5) != 0 || clamp8(300) != 255 || clamp8(128) != 128 {
+		t.Error("clamp8 wrong")
+	}
+}

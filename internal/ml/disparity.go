@@ -1,0 +1,184 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// DisparitySpec describes a synthetic binary-classification task with
+// a majority group (0) and an uncovered group (1), standing in for the
+// paper's drowsiness-detection (spectacled subjects left out) and
+// gender-detection (Black subjects left out) experiments of Figure 6.
+//
+// Samples are feature clusters: the majority group carries the class
+// signal in coordinates 0-1, the uncovered group in coordinates 2-3
+// with only Leakage of the signal leaking into the majority
+// coordinates. A model trained without group-1 samples therefore
+// learns the majority coordinates and underperforms on group 1; the
+// disparity shrinks as group-1 samples are added back, which is
+// exactly the mechanism the paper demonstrates.
+type DisparitySpec struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Dim is the feature dimension (at least 4).
+	Dim int
+	// Signal is the class-mean separation along the group's signal
+	// coordinates.
+	Signal float64
+	// Leakage in [0,1] scales how much of the class signal the
+	// uncovered group exposes in the majority coordinates: low leakage
+	// means large disparity (drowsiness), high leakage small
+	// disparity (gender detection).
+	Leakage float64
+	// Noise is the per-coordinate Gaussian noise.
+	Noise float64
+	// BaseTrainPerClass is the number of majority training samples per
+	// class.
+	BaseTrainPerClass int
+	// TestPerClass is the number of test samples per class per group.
+	TestPerClass int
+	// Hidden is the hidden layer width.
+	Hidden int
+	// Epochs, BatchSize, LearnRate, Momentum configure training.
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Momentum  float64
+}
+
+// DrowsinessSpec reproduces Figure 6a's regime: a large (~10 point)
+// accuracy disparity against spectacled subjects at zero added
+// samples.
+func DrowsinessSpec() DisparitySpec {
+	return DisparitySpec{
+		Name: "drowsiness-detection", Dim: 8,
+		Signal: 1.6, Leakage: 0.35, Noise: 1.0,
+		BaseTrainPerClass: 800, TestPerClass: 400,
+		Hidden: 16, Epochs: 25, BatchSize: 32, LearnRate: 0.05, Momentum: 0.9,
+	}
+}
+
+// GenderSpec reproduces Figure 6b's regime: a small (~1 point)
+// disparity against Black subjects.
+func GenderSpec() DisparitySpec {
+	return DisparitySpec{
+		Name: "gender-detection", Dim: 8,
+		Signal: 1.6, Leakage: 0.85, Noise: 0.9,
+		BaseTrainPerClass: 800, TestPerClass: 400,
+		Hidden: 16, Epochs: 25, BatchSize: 32, LearnRate: 0.05, Momentum: 0.9,
+	}
+}
+
+// Sample draws one feature vector for (class, group).
+func (s DisparitySpec) Sample(class, group int, rng *rand.Rand) []float64 {
+	x := make([]float64, s.Dim)
+	sign := s.Signal
+	if class == 0 {
+		sign = -s.Signal
+	}
+	for i := range x {
+		x[i] = rng.NormFloat64() * s.Noise
+	}
+	if group == 0 {
+		x[0] += sign
+		x[1] += sign
+	} else {
+		x[2] += sign
+		x[3] += sign
+		x[0] += sign * s.Leakage
+		x[1] += sign * s.Leakage
+	}
+	return x
+}
+
+// genSet draws n samples per class for one group.
+func (s DisparitySpec) genSet(perClass, group int, rng *rand.Rand) (xs [][]float64, ys []int) {
+	for class := 0; class < 2; class++ {
+		for i := 0; i < perClass; i++ {
+			xs = append(xs, s.Sample(class, group, rng))
+			ys = append(ys, class)
+		}
+	}
+	return xs, ys
+}
+
+// DisparityPoint is one point of the Figure 6 series: the model's
+// accuracy and loss gap between a random test set and an
+// uncovered-group-only test set, after adding Added samples of the
+// uncovered group per class to the training data.
+type DisparityPoint struct {
+	Added                         int
+	AccDisparity, LossDisparity   float64
+	OverallAcc, UncoveredGroupAcc float64
+}
+
+// String implements fmt.Stringer.
+func (p DisparityPoint) String() string {
+	return fmt.Sprintf("added=%3d accDisp=%+.4f lossDisp=%+.4f overall=%.4f group=%.4f",
+		p.Added, p.AccDisparity, p.LossDisparity, p.OverallAcc, p.UncoveredGroupAcc)
+}
+
+// RunDisparity trains one model per point in addedCounts, repeats
+// times each (different seeds), and returns the averaged series — the
+// procedure behind Figures 6a and 6b. Disparities are measured, as in
+// the paper, between a randomly mixed test set and a test set drawn
+// exclusively from the uncovered group.
+func RunDisparity(spec DisparitySpec, addedCounts []int, repeats int, seed int64) ([]DisparityPoint, error) {
+	if spec.Dim < 4 {
+		return nil, errors.New("ml: spec needs Dim >= 4")
+	}
+	if repeats <= 0 || len(addedCounts) == 0 {
+		return nil, fmt.Errorf("ml: repeats=%d points=%d", repeats, len(addedCounts))
+	}
+	out := make([]DisparityPoint, len(addedCounts))
+	for pi, added := range addedCounts {
+		var acc, loss, overall, grp float64
+		for r := 0; r < repeats; r++ {
+			rng := rand.New(rand.NewSource(seed + int64(1000*pi+r)))
+			trainX, trainY := spec.genSet(spec.BaseTrainPerClass, 0, rng)
+			if added > 0 {
+				gx, gy := spec.genSet(added, 1, rng)
+				trainX = append(trainX, gx...)
+				trainY = append(trainY, gy...)
+			}
+			net, err := NewMLP([]int{spec.Dim, spec.Hidden, 2}, rng)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := net.Train(trainX, trainY, TrainConfig{
+				Epochs: spec.Epochs, BatchSize: spec.BatchSize,
+				LearnRate: spec.LearnRate, Momentum: spec.Momentum, Rng: rng,
+			}); err != nil {
+				return nil, err
+			}
+			// Random test set: both groups mixed evenly.
+			mixX, mixY := spec.genSet(spec.TestPerClass/2, 0, rng)
+			gX, gY := spec.genSet(spec.TestPerClass/2, 1, rng)
+			mixX = append(mixX, gX...)
+			mixY = append(mixY, gY...)
+			mixM, err := net.Evaluate(mixX, mixY)
+			if err != nil {
+				return nil, err
+			}
+			groupX, groupY := spec.genSet(spec.TestPerClass, 1, rng)
+			groupM, err := net.Evaluate(groupX, groupY)
+			if err != nil {
+				return nil, err
+			}
+			acc += mixM.Accuracy - groupM.Accuracy
+			loss += groupM.Loss - mixM.Loss
+			overall += mixM.Accuracy
+			grp += groupM.Accuracy
+		}
+		n := float64(repeats)
+		out[pi] = DisparityPoint{
+			Added:             added,
+			AccDisparity:      acc / n,
+			LossDisparity:     loss / n,
+			OverallAcc:        overall / n,
+			UncoveredGroupAcc: grp / n,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSampleShapes(t *testing.T) {
+	spec := DrowsinessSpec()
+	rng := rand.New(rand.NewSource(11))
+	x := spec.Sample(1, 0, rng)
+	if len(x) != spec.Dim {
+		t.Fatalf("dim = %d, want %d", len(x), spec.Dim)
+	}
+	xs, ys := spec.genSet(10, 1, rng)
+	if len(xs) != 20 || len(ys) != 20 {
+		t.Fatalf("genSet sizes = %d, %d", len(xs), len(ys))
+	}
+	zeros, ones := 0, 0
+	for _, y := range ys {
+		if y == 0 {
+			zeros++
+		} else {
+			ones++
+		}
+	}
+	if zeros != 10 || ones != 10 {
+		t.Errorf("class balance = %d/%d", zeros, ones)
+	}
+}
+
+func TestRunDisparityValidation(t *testing.T) {
+	spec := DrowsinessSpec()
+	spec.Dim = 3
+	if _, err := RunDisparity(spec, []int{0}, 1, 1); err == nil {
+		t.Error("dim < 4: want error")
+	}
+	if _, err := RunDisparity(DrowsinessSpec(), nil, 1, 1); err == nil {
+		t.Error("no points: want error")
+	}
+	if _, err := RunDisparity(DrowsinessSpec(), []int{0}, 0, 1); err == nil {
+		t.Error("0 repeats: want error")
+	}
+}
+
+func TestDrowsinessDisparityShrinksWithCoverage(t *testing.T) {
+	// The Figure 6a claim: noticeable disparity at 0 added samples,
+	// shrinking substantially by 100 added per class.
+	spec := DrowsinessSpec()
+	// Trim sizes for test speed; the mechanism is scale-free.
+	spec.BaseTrainPerClass = 400
+	spec.TestPerClass = 300
+	spec.Epochs = 15
+	points, err := RunDisparity(spec, []int{0, 100}, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].AccDisparity < 0.04 {
+		t.Errorf("zero-coverage accuracy disparity = %.4f, want >= 0.04", points[0].AccDisparity)
+	}
+	if points[1].AccDisparity > points[0].AccDisparity/2 {
+		t.Errorf("disparity did not shrink: %.4f -> %.4f",
+			points[0].AccDisparity, points[1].AccDisparity)
+	}
+	if points[0].LossDisparity <= points[1].LossDisparity {
+		t.Errorf("loss disparity did not shrink: %.4f -> %.4f",
+			points[0].LossDisparity, points[1].LossDisparity)
+	}
+	for _, p := range points {
+		if p.String() == "" {
+			t.Error("empty point string")
+		}
+	}
+}
+
+func TestGenderDisparitySmallerThanDrowsiness(t *testing.T) {
+	// Figure 6b's disparity (~1 point) is an order of magnitude
+	// smaller than 6a's (~10 points) at zero added samples.
+	d := DrowsinessSpec()
+	g := GenderSpec()
+	d.BaseTrainPerClass, g.BaseTrainPerClass = 400, 400
+	d.TestPerClass, g.TestPerClass = 300, 300
+	d.Epochs, g.Epochs = 15, 15
+	dp, err := RunDisparity(d, []int{0}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := RunDisparity(g, []int{0}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp[0].AccDisparity >= dp[0].AccDisparity {
+		t.Errorf("gender disparity %.4f should be below drowsiness %.4f",
+			gp[0].AccDisparity, dp[0].AccDisparity)
+	}
+}

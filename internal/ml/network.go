@@ -1,0 +1,326 @@
+// Package ml is a small, dependency-free neural-network stack used to
+// reproduce the paper's downstream-task experiments (section 6.4): a
+// fully-connected network with ReLU hidden layers and a softmax
+// cross-entropy head, trained by mini-batch SGD with momentum. It is
+// deliberately minimal — enough to demonstrate that a model trained on
+// data lacking coverage of a group underperforms on that group, and
+// that adding samples from the uncovered region closes the gap.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is one fully-connected layer: out = act(W*x + b).
+type Dense struct {
+	In, Out int
+	W       [][]float64 // [Out][In]
+	B       []float64
+	relu    bool
+
+	// momentum buffers
+	vW [][]float64
+	vB []float64
+
+	// forward cache for backprop
+	x []float64 // input
+	z []float64 // pre-activation
+}
+
+// Network is a feed-forward classifier.
+type Network struct {
+	layers  []*Dense
+	classes int
+}
+
+// NewMLP builds a network with the given layer sizes; sizes[0] is the
+// input dimension and sizes[len-1] the number of classes. Hidden
+// layers use ReLU; the final layer is linear (softmax applied by the
+// loss). Weights use He initialization from rng.
+func NewMLP(sizes []int, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("ml: need at least input and output sizes")
+	}
+	if rng == nil {
+		return nil, errors.New("ml: nil rng")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("ml: layer size %d", s)
+		}
+	}
+	net := &Network{classes: sizes[len(sizes)-1]}
+	for i := 0; i+1 < len(sizes); i++ {
+		l := &Dense{
+			In:   sizes[i],
+			Out:  sizes[i+1],
+			relu: i+2 < len(sizes),
+		}
+		scale := math.Sqrt(2.0 / float64(l.In))
+		l.W = make([][]float64, l.Out)
+		l.vW = make([][]float64, l.Out)
+		for o := range l.W {
+			l.W[o] = make([]float64, l.In)
+			l.vW[o] = make([]float64, l.In)
+			for j := range l.W[o] {
+				l.W[o][j] = rng.NormFloat64() * scale
+			}
+		}
+		l.B = make([]float64, l.Out)
+		l.vB = make([]float64, l.Out)
+		net.layers = append(net.layers, l)
+	}
+	return net, nil
+}
+
+// Classes returns the number of output classes.
+func (n *Network) Classes() int { return n.classes }
+
+// forward runs one sample through the network, caching activations.
+func (n *Network) forward(x []float64) []float64 {
+	cur := x
+	for _, l := range n.layers {
+		l.x = cur
+		z := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			w := l.W[o]
+			for j, v := range cur {
+				s += w[j] * v
+			}
+			z[o] = s
+		}
+		l.z = z
+		if l.relu {
+			a := make([]float64, l.Out)
+			for o, v := range z {
+				if v > 0 {
+					a[o] = v
+				}
+			}
+			cur = a
+		} else {
+			cur = z
+		}
+	}
+	return cur
+}
+
+// Softmax converts logits to probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Loss returns the cross-entropy of one sample without touching
+// gradients.
+func (n *Network) Loss(x []float64, y int) float64 {
+	p := Softmax(n.forward(x))
+	return -math.Log(math.Max(p[y], 1e-12))
+}
+
+// Predict returns the argmax class for one sample.
+func (n *Network) Predict(x []float64) int {
+	logits := n.forward(x)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// backward accumulates gradients for one sample into grads, given the
+// softmax cross-entropy delta at the output. Returns the sample loss.
+func (n *Network) backward(x []float64, y int, grads []*denseGrad) float64 {
+	logits := n.forward(x)
+	p := Softmax(logits)
+	loss := -math.Log(math.Max(p[y], 1e-12))
+
+	// dL/dz at output layer.
+	delta := make([]float64, len(p))
+	copy(delta, p)
+	delta[y] -= 1
+
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		g := grads[li]
+		// ReLU backprop happens on this layer's own activation when
+		// it is hidden; delta arriving here is already dL/da, convert
+		// to dL/dz.
+		if l.relu {
+			for o := range delta {
+				if l.z[o] <= 0 {
+					delta[o] = 0
+				}
+			}
+		}
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			g.b[o] += d
+			row := g.w[o]
+			for j, v := range l.x {
+				row[j] += d * v
+			}
+		}
+		if li > 0 {
+			prev := make([]float64, l.In)
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				w := l.W[o]
+				for j := range prev {
+					prev[j] += d * w[j]
+				}
+			}
+			delta = prev
+		}
+	}
+	return loss
+}
+
+type denseGrad struct {
+	w [][]float64
+	b []float64
+}
+
+func (n *Network) newGrads() []*denseGrad {
+	out := make([]*denseGrad, len(n.layers))
+	for i, l := range n.layers {
+		g := &denseGrad{w: make([][]float64, l.Out), b: make([]float64, l.Out)}
+		for o := range g.w {
+			g.w[o] = make([]float64, l.In)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// TrainConfig tunes SGD.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Momentum  float64
+	// Rng shuffles batches; required.
+	Rng *rand.Rand
+}
+
+// Train fits the network to (xs, ys) with mini-batch SGD and momentum,
+// returning the mean loss of the final epoch.
+func (n *Network) Train(xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("ml: %d samples, %d labels", len(xs), len(ys))
+	}
+	if cfg.Rng == nil {
+		return 0, errors.New("ml: TrainConfig needs Rng")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LearnRate <= 0 {
+		return 0, fmt.Errorf("ml: bad config %+v", cfg)
+	}
+	for i, y := range ys {
+		if y < 0 || y >= n.classes {
+			return 0, fmt.Errorf("ml: label %d out of range at %d", y, i)
+		}
+		if len(xs[i]) != n.layers[0].In {
+			return 0, fmt.Errorf("ml: sample %d has dim %d, want %d", i, len(xs[i]), n.layers[0].In)
+		}
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	grads := n.newGrads()
+	lastEpochLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, g := range grads {
+				for o := range g.w {
+					for j := range g.w[o] {
+						g.w[o][j] = 0
+					}
+					g.b[o] = 0
+				}
+			}
+			for _, i := range idx[start:end] {
+				epochLoss += n.backward(xs[i], ys[i], grads)
+			}
+			scale := cfg.LearnRate / float64(end-start)
+			for li, l := range n.layers {
+				g := grads[li]
+				for o := 0; o < l.Out; o++ {
+					for j := 0; j < l.In; j++ {
+						l.vW[o][j] = cfg.Momentum*l.vW[o][j] - scale*g.w[o][j]
+						l.W[o][j] += l.vW[o][j]
+					}
+					l.vB[o] = cfg.Momentum*l.vB[o] - scale*g.b[o]
+					l.B[o] += l.vB[o]
+				}
+			}
+		}
+		lastEpochLoss = epochLoss / float64(len(idx))
+	}
+	return lastEpochLoss, nil
+}
+
+// Metrics summarizes model quality on a labeled set.
+type Metrics struct {
+	Accuracy float64
+	Loss     float64
+}
+
+// Evaluate computes accuracy and mean cross-entropy on a labeled set.
+func (n *Network) Evaluate(xs [][]float64, ys []int) (Metrics, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Metrics{}, fmt.Errorf("ml: %d samples, %d labels", len(xs), len(ys))
+	}
+	correct, loss := 0, 0.0
+	for i, x := range xs {
+		logits := n.forward(x)
+		p := Softmax(logits)
+		loss += -math.Log(math.Max(p[ys[i]], 1e-12))
+		best := 0
+		for c, v := range logits {
+			if v > logits[best] {
+				best = c
+			}
+		}
+		if best == ys[i] {
+			correct++
+		}
+	}
+	return Metrics{
+		Accuracy: float64(correct) / float64(len(xs)),
+		Loss:     loss / float64(len(xs)),
+	}, nil
+}

@@ -1,0 +1,178 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP([]int{4}, rng); err == nil {
+		t.Error("single layer: want error")
+	}
+	if _, err := NewMLP([]int{4, 2}, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := NewMLP([]int{4, 0, 2}, rng); err == nil {
+		t.Error("zero width: want error")
+	}
+	net, err := NewMLP([]int{4, 8, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Classes() != 3 {
+		t.Errorf("Classes = %d", net.Classes())
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{0, 0})
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Errorf("softmax(0,0) = %v", p)
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 0})
+	if math.IsNaN(p[0]) || p[0] < 0.999 {
+		t.Errorf("softmax(1000,0) = %v", p)
+	}
+	sum := 0.0
+	for _, v := range Softmax([]float64{1, 2, 3, -7}) {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sum = %f", sum)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Finite-difference check of backward against Loss on a tiny
+	// network. Catches sign errors, ReLU masking bugs, and index
+	// transposition in one sweep.
+	rng := rand.New(rand.NewSource(2))
+	net, err := NewMLP([]int{3, 5, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -1.2, 0.8}
+	y := 1
+	grads := net.newGrads()
+	net.backward(x, y, grads)
+
+	const eps = 1e-5
+	for li, l := range net.layers {
+		for o := 0; o < l.Out; o++ {
+			for j := 0; j < l.In; j++ {
+				orig := l.W[o][j]
+				l.W[o][j] = orig + eps
+				up := net.Loss(x, y)
+				l.W[o][j] = orig - eps
+				down := net.Loss(x, y)
+				l.W[o][j] = orig
+				numeric := (up - down) / (2 * eps)
+				analytic := grads[li].w[o][j]
+				if math.Abs(numeric-analytic) > 1e-6*(1+math.Abs(numeric)) {
+					t.Fatalf("layer %d W[%d][%d]: analytic %g vs numeric %g", li, o, j, analytic, numeric)
+				}
+			}
+			orig := l.B[o]
+			l.B[o] = orig + eps
+			up := net.Loss(x, y)
+			l.B[o] = orig - eps
+			down := net.Loss(x, y)
+			l.B[o] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := grads[li].b[o]
+			if math.Abs(numeric-analytic) > 1e-6*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d B[%d]: analytic %g vs numeric %g", li, o, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestTrainLearnsLinearlySeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 400; i++ {
+		class := i % 2
+		sign := 1.0
+		if class == 0 {
+			sign = -1
+		}
+		xs = append(xs, []float64{sign*1.5 + rng.NormFloat64()*0.5, rng.NormFloat64()})
+		ys = append(ys, class)
+	}
+	net, err := NewMLP([]int{2, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := net.Evaluate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalLoss, err := net.Train(xs, ys, TrainConfig{
+		Epochs: 30, BatchSize: 16, LearnRate: 0.1, Momentum: 0.9, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := net.Evaluate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Accuracy < 0.95 {
+		t.Errorf("train accuracy %.3f, want >= 0.95", after.Accuracy)
+	}
+	if after.Loss >= before.Loss {
+		t.Errorf("loss did not decrease: %.4f -> %.4f", before.Loss, after.Loss)
+	}
+	if finalLoss > before.Loss {
+		t.Errorf("final epoch loss %.4f above initial %.4f", finalLoss, before.Loss)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net, _ := NewMLP([]int{2, 2}, rng)
+	xs := [][]float64{{1, 2}}
+	ys := []int{0}
+	if _, err := net.Train(nil, nil, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 0.1, Rng: rng}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := net.Train(xs, []int{0, 1}, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 0.1, Rng: rng}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := net.Train(xs, ys, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 0.1}); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := net.Train(xs, ys, TrainConfig{Epochs: 0, BatchSize: 1, LearnRate: 0.1, Rng: rng}); err == nil {
+		t.Error("0 epochs: want error")
+	}
+	if _, err := net.Train(xs, []int{7}, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 0.1, Rng: rng}); err == nil {
+		t.Error("label out of range: want error")
+	}
+	if _, err := net.Train([][]float64{{1}}, ys, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 0.1, Rng: rng}); err == nil {
+		t.Error("dim mismatch: want error")
+	}
+	if _, err := net.Evaluate(nil, nil); err == nil {
+		t.Error("empty evaluate: want error")
+	}
+}
+
+func TestPredictConsistentWithEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, _ := NewMLP([]int{2, 4, 2}, rng)
+	xs := [][]float64{{1, 0}, {-1, 0}, {0.5, -0.5}}
+	ys := make([]int, len(xs))
+	for i, x := range xs {
+		ys[i] = net.Predict(x)
+	}
+	m, err := net.Evaluate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 1.0 {
+		t.Errorf("self-consistency accuracy = %f", m.Accuracy)
+	}
+}

@@ -1,0 +1,79 @@
+package pattern
+
+// Subgroups enumerates every fully-specified subgroup of the schema in
+// mixed-radix order (last attribute varies fastest). The i-th returned
+// pattern has SubgroupIndex i.
+func Subgroups(s *Schema) []Pattern {
+	m := s.NumSubgroups()
+	out := make([]Pattern, 0, m)
+	for idx := 0; idx < m; idx++ {
+		out = append(out, SubgroupAt(s, idx))
+	}
+	return out
+}
+
+// SubgroupAt decodes a mixed-radix subgroup index into the
+// corresponding fully-specified pattern.
+func SubgroupAt(s *Schema, idx int) Pattern {
+	d := s.NumAttrs()
+	p := make(Pattern, d)
+	for i := d - 1; i >= 0; i-- {
+		c := s.Attr(i).Cardinality()
+		p[i] = idx % c
+		idx /= c
+	}
+	return p
+}
+
+// SubgroupIndex encodes a fully-specified pattern (or a label vector,
+// via Point) into its mixed-radix index. It returns -1 if the pattern
+// has any wildcard slot.
+func SubgroupIndex(s *Schema, p Pattern) int {
+	idx := 0
+	for i := 0; i < s.NumAttrs(); i++ {
+		if p[i] == Wildcard {
+			return -1
+		}
+		idx = idx*s.Attr(i).Cardinality() + p[i]
+	}
+	return idx
+}
+
+// Universe enumerates every pattern over the schema, all-wildcard
+// included, in mixed-radix order over slot values {X, 0, 1, ...}.
+func Universe(s *Schema) []Pattern {
+	d := s.NumAttrs()
+	total := s.NumPatterns()
+	out := make([]Pattern, 0, total)
+	cur := make(Pattern, d)
+	for i := range cur {
+		cur[i] = Wildcard
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == d {
+			out = append(out, cur.Clone())
+			return
+		}
+		cur[i] = Wildcard
+		rec(i + 1)
+		for v := 0; v < s.Attr(i).Cardinality(); v++ {
+			cur[i] = v
+			rec(i + 1)
+		}
+		cur[i] = Wildcard
+	}
+	rec(0)
+	return out
+}
+
+// UniverseByLevel returns the pattern universe grouped by level;
+// element L of the result holds all level-L patterns.
+func UniverseByLevel(s *Schema) [][]Pattern {
+	byLevel := make([][]Pattern, s.NumAttrs()+1)
+	for _, p := range Universe(s) {
+		l := p.Level()
+		byLevel[l] = append(byLevel[l], p)
+	}
+	return byLevel
+}

@@ -1,0 +1,33 @@
+package pattern
+
+import "testing"
+
+// FuzzParse hardens the pattern parser against arbitrary input: it
+// must either return an error or a pattern that round-trips through
+// String and re-Parse. Run with `go test -fuzz FuzzParse` for real
+// fuzzing; the seeds below execute in every plain `go test`.
+func FuzzParse(f *testing.F) {
+	s := MustSchema(
+		Attribute{Name: "a", Values: []string{"0", "1", "2"}},
+		Attribute{Name: "b", Values: []string{"0", "1"}},
+	)
+	for _, seed := range []string{"X0", "21", "XX", "", "99", "X-1", "0-1", "x0", "-", "0--1", "0-1-2"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(s, text)
+		if err != nil {
+			return
+		}
+		if len(p) != s.NumAttrs() {
+			t.Fatalf("Parse(%q) returned %d slots", text, len(p))
+		}
+		rt, err := Parse(s, p.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", text, err)
+		}
+		if !rt.Equal(p) {
+			t.Fatalf("round trip of %q changed %v -> %v", text, p, rt)
+		}
+	})
+}

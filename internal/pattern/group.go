@@ -1,0 +1,103 @@
+package pattern
+
+import "strings"
+
+// Group is a demographic group or super-group: a disjunction of
+// patterns. A plain group has one member; the super-groups formed by
+// the aggregation heuristic of the paper (section 4) OR together
+// several minority groups so one crowd task can cover all of them.
+type Group struct {
+	// Name is an optional display name, e.g. "female" or
+	// "asian|native|middle-eastern".
+	Name string
+	// Members are the patterns whose union defines the group.
+	Members []Pattern
+}
+
+// GroupOf builds a single-pattern group.
+func GroupOf(name string, p Pattern) Group {
+	return Group{Name: name, Members: []Pattern{p}}
+}
+
+// SuperGroup builds a group that is the union of the given groups, as
+// produced by the aggregate step of Multiple-Coverage. Member patterns
+// are concatenated; the name joins the parts with '|'.
+func SuperGroup(groups ...Group) Group {
+	var g Group
+	names := make([]string, 0, len(groups))
+	for _, sub := range groups {
+		g.Members = append(g.Members, sub.Members...)
+		if sub.Name != "" {
+			names = append(names, sub.Name)
+		}
+	}
+	g.Name = strings.Join(names, "|")
+	return g
+}
+
+// IsSuper reports whether the group has more than one member pattern.
+func (g Group) IsSuper() bool { return len(g.Members) > 1 }
+
+// Matches reports whether the label vector belongs to the group, i.e.
+// matches at least one member pattern.
+func (g Group) Matches(labels []int) bool {
+	for _, p := range g.Members {
+		if p.Matches(labels) {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the group name, falling back to the member patterns.
+func (g Group) String() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	parts := make([]string, len(g.Members))
+	for i, p := range g.Members {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Format renders the disjunction with schema names, e.g.
+// "(gender=female AND race=X) OR (gender=X AND race=black)".
+func (g Group) Format(s *Schema) string {
+	if len(g.Members) == 1 {
+		return g.Members[0].Format(s)
+	}
+	parts := make([]string, len(g.Members))
+	for i, p := range g.Members {
+		parts[i] = "(" + p.Format(s) + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// GroupsForAttribute returns one single-pattern group per value of the
+// given attribute: the "multiple non-intersectional groups" setting.
+func GroupsForAttribute(s *Schema, attr int) []Group {
+	a := s.Attr(attr)
+	out := make([]Group, 0, a.Cardinality())
+	for v := 0; v < a.Cardinality(); v++ {
+		p := All(s)
+		p[attr] = v
+		out = append(out, Group{Name: a.Name + "=" + a.Values[v], Members: []Pattern{p}})
+	}
+	return out
+}
+
+// SubgroupGroups returns one group per fully-specified subgroup, named
+// with schema value names: the "intersectional groups" setting.
+func SubgroupGroups(s *Schema) []Group {
+	subs := Subgroups(s)
+	out := make([]Group, 0, len(subs))
+	for _, p := range subs {
+		parts := make([]string, len(p))
+		for i, v := range p {
+			parts[i] = s.Attr(i).Values[v]
+		}
+		out = append(out, Group{Name: strings.Join(parts, "-"), Members: []Pattern{p}})
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coverage is the three-valued coverage verdict for one pattern.
+// Unknown arises only from interval propagation with partially-known
+// leaf counts (see PropagateBounds); exact pipelines never produce it.
+type Coverage int8
+
+const (
+	// Uncovered means the pattern matches fewer than tau objects.
+	Uncovered Coverage = iota
+	// Covered means the pattern matches at least tau objects.
+	Covered
+	// Unknown means the available bounds straddle tau.
+	Unknown
+)
+
+// String returns "covered", "uncovered" or "unknown".
+func (c Coverage) String() string {
+	switch c {
+	case Covered:
+		return "covered"
+	case Uncovered:
+		return "uncovered"
+	default:
+		return "unknown"
+	}
+}
+
+// CountLabels counts, for every fully-specified subgroup, how many of
+// the given label vectors belong to it. The result is indexed by
+// SubgroupIndex.
+func CountLabels(s *Schema, labels [][]int) []int {
+	counts := make([]int, s.NumSubgroups())
+	for _, l := range labels {
+		counts[SubgroupIndex(s, Point(l))]++
+	}
+	return counts
+}
+
+// CountPattern sums the subgroup counts of every fully-specified
+// descendant of p. counts must be indexed by SubgroupIndex.
+func CountPattern(s *Schema, counts []int, p Pattern) int {
+	total := 0
+	for idx, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if p.Matches(SubgroupAt(s, idx)) {
+			total += c
+		}
+	}
+	return total
+}
+
+// AllCounts computes the match count of every pattern in the universe
+// with the Pattern-Combiner recurrence: the count of a pattern equals
+// the sum of the counts of its children along its first unspecified
+// attribute (those children partition the pattern's objects). Returns
+// a map keyed by Pattern.Key.
+func AllCounts(s *Schema, counts []int) map[string]int {
+	out := make(map[string]int, s.NumPatterns())
+	byLevel := UniverseByLevel(s)
+	d := s.NumAttrs()
+	// Level d: fully-specified patterns take their subgroup counts.
+	for _, p := range byLevel[d] {
+		out[p.Key()] = counts[SubgroupIndex(s, p)]
+	}
+	// Combine upward, level d-1 .. 0.
+	for l := d - 1; l >= 0; l-- {
+		for _, p := range byLevel[l] {
+			attr := p.FirstWildcard()
+			sum := 0
+			for _, ch := range p.ChildrenAlong(s, attr) {
+				sum += out[ch.Key()]
+			}
+			out[p.Key()] = sum
+		}
+	}
+	return out
+}
+
+// MUP is one maximal uncovered pattern together with its exact count.
+type MUP struct {
+	Pattern Pattern
+	Count   int
+}
+
+// FindMUPs discovers every maximal uncovered pattern given exact
+// subgroup counts: a pattern with fewer than tau matches all of whose
+// parents are covered. This is the Pattern-Combiner procedure the
+// paper invokes for labeled (or crowd-counted) data.
+func FindMUPs(s *Schema, counts []int, tau int) []MUP {
+	all := AllCounts(s, counts)
+	var out []MUP
+	for _, p := range Universe(s) {
+		if all[p.Key()] >= tau {
+			continue
+		}
+		maximal := true
+		for _, par := range p.Parents() {
+			if all[par.Key()] < tau {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, MUP{Pattern: p, Count: all[p.Key()]})
+		}
+	}
+	sortMUPs(out)
+	return out
+}
+
+// BruteForceMUPs computes MUPs by scanning the raw label vectors for
+// every pattern in the universe. Quadratic; used as a test oracle for
+// FindMUPs.
+func BruteForceMUPs(s *Schema, labels [][]int, tau int) []MUP {
+	count := func(p Pattern) int {
+		n := 0
+		for _, l := range labels {
+			if p.Matches(l) {
+				n++
+			}
+		}
+		return n
+	}
+	var out []MUP
+	for _, p := range Universe(s) {
+		c := count(p)
+		if c >= tau {
+			continue
+		}
+		maximal := true
+		for _, par := range p.Parents() {
+			if count(par) < tau {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, MUP{Pattern: p, Count: c})
+		}
+	}
+	sortMUPs(out)
+	return out
+}
+
+func sortMUPs(ms []MUP) {
+	sort.Slice(ms, func(i, j int) bool {
+		if li, lj := ms[i].Pattern.Level(), ms[j].Pattern.Level(); li != lj {
+			return li < lj
+		}
+		return ms[i].Pattern.Key() < ms[j].Pattern.Key()
+	})
+}
+
+// UncoveredClosure returns every uncovered pattern (not only maximal
+// ones), useful for reporting the full uncovered region.
+func UncoveredClosure(s *Schema, counts []int, tau int) []Pattern {
+	all := AllCounts(s, counts)
+	var out []Pattern
+	for _, p := range Universe(s) {
+		if all[p.Key()] < tau {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- Interval propagation -------------------------------------------------
+
+// LeafBound carries what an audit learned about one fully-specified
+// subgroup. Exact leaves have Lo == Hi. Leaves audited through an
+// uncovered super-group share a SuperID and a joint exact total: the
+// algorithm knows the sum of their counts without knowing the split.
+type LeafBound struct {
+	Lo, Hi  int
+	SuperID int // -1 when the leaf was audited individually
+}
+
+// ExactLeaf builds a LeafBound for an individually audited subgroup.
+func ExactLeaf(count int) LeafBound { return LeafBound{Lo: count, Hi: count, SuperID: -1} }
+
+// Bounds is an inclusive integer interval on a pattern's match count.
+type Bounds struct{ Lo, Hi int }
+
+// Verdict converts the bounds into a Coverage verdict at threshold tau.
+func (b Bounds) Verdict(tau int) Coverage {
+	switch {
+	case b.Lo >= tau:
+		return Covered
+	case b.Hi < tau:
+		return Uncovered
+	default:
+		return Unknown
+	}
+}
+
+// PropagateBounds computes count intervals for every pattern in the
+// universe from per-leaf bounds plus joint super-group totals
+// (superTotals maps SuperID to the exact member-count sum). For a
+// super-group s split by a pattern P, the members inside P contribute
+//
+//	lo = max(sum lo_in, total_s - sum hi_out)
+//	hi = min(sum hi_in, total_s - sum lo_out)
+//
+// which is exact when P contains all of s (the aggregation step's
+// same-parent rule guarantees this for the shared parent).
+func PropagateBounds(s *Schema, leaves []LeafBound, superTotals map[int]int) (map[string]Bounds, error) {
+	if len(leaves) != s.NumSubgroups() {
+		return nil, fmt.Errorf("pattern: got %d leaf bounds, schema has %d subgroups", len(leaves), s.NumSubgroups())
+	}
+	for i, lb := range leaves {
+		if lb.Lo > lb.Hi || lb.Lo < 0 {
+			return nil, fmt.Errorf("pattern: leaf %d has invalid bounds [%d,%d]", i, lb.Lo, lb.Hi)
+		}
+		if lb.SuperID >= 0 {
+			if _, ok := superTotals[lb.SuperID]; !ok {
+				return nil, fmt.Errorf("pattern: leaf %d references unknown super-group %d", i, lb.SuperID)
+			}
+		}
+	}
+	subs := Subgroups(s)
+	out := make(map[string]Bounds, s.NumPatterns())
+	for _, p := range Universe(s) {
+		var lo, hi int
+		// Independent leaves sum directly; super-group members are
+		// grouped and tightened with the joint total.
+		inLo := map[int]int{}
+		inHi := map[int]int{}
+		outLo := map[int]int{}
+		outHi := map[int]int{}
+		for idx, leaf := range subs {
+			lb := leaves[idx]
+			inside := p.Matches(leaf)
+			if lb.SuperID < 0 {
+				if inside {
+					lo += lb.Lo
+					hi += lb.Hi
+				}
+				continue
+			}
+			if inside {
+				inLo[lb.SuperID] += lb.Lo
+				inHi[lb.SuperID] += lb.Hi
+			} else {
+				outLo[lb.SuperID] += lb.Lo
+				outHi[lb.SuperID] += lb.Hi
+			}
+		}
+		for id, total := range superTotals {
+			l := max(inLo[id], total-outHi[id])
+			h := min(inHi[id], total-outLo[id])
+			if h < 0 {
+				h = 0
+			}
+			if l < 0 {
+				l = 0
+			}
+			lo += l
+			hi += h
+		}
+		out[p.Key()] = Bounds{Lo: lo, Hi: hi}
+	}
+	return out, nil
+}

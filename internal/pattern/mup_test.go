@@ -1,0 +1,252 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomLabels(s *Schema, n int, rng *rand.Rand) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		l := make([]int, s.NumAttrs())
+		for j := 0; j < s.NumAttrs(); j++ {
+			l[j] = rng.Intn(s.Attr(j).Cardinality())
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func TestCountLabelsAndCountPattern(t *testing.T) {
+	s := genderRace()
+	labels := [][]int{{0, 0}, {0, 0}, {1, 3}, {1, 0}, {0, 3}}
+	counts := CountLabels(s, labels)
+	if got := counts[SubgroupIndex(s, MustPattern(s, 0, 0))]; got != 2 {
+		t.Errorf("male-white count = %d, want 2", got)
+	}
+	if got := CountPattern(s, counts, MustPattern(s, Wildcard, 3)); got != 2 {
+		t.Errorf("X-asian count = %d, want 2", got)
+	}
+	if got := CountPattern(s, counts, All(s)); got != 5 {
+		t.Errorf("root count = %d, want 5", got)
+	}
+}
+
+func TestAllCountsMatchesDirectCounts(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "a", Values: []string{"0", "1", "2"}},
+		Attribute{Name: "b", Values: []string{"0", "1"}},
+		Attribute{Name: "c", Values: []string{"0", "1", "2", "3"}},
+	)
+	rng := rand.New(rand.NewSource(7))
+	labels := randomLabels(s, 500, rng)
+	counts := CountLabels(s, labels)
+	all := AllCounts(s, counts)
+	for _, p := range Universe(s) {
+		want := CountPattern(s, counts, p)
+		if all[p.Key()] != want {
+			t.Fatalf("AllCounts[%v] = %d, direct = %d", p, all[p.Key()], want)
+		}
+	}
+}
+
+func TestFindMUPsSimple(t *testing.T) {
+	s := genderRace()
+	// 60 male-white, 60 female-white, 60 male-black, 5 female-black,
+	// everything else empty. tau = 50.
+	counts := make([]int, s.NumSubgroups())
+	counts[SubgroupIndex(s, MustPattern(s, 0, 0))] = 60
+	counts[SubgroupIndex(s, MustPattern(s, 1, 0))] = 60
+	counts[SubgroupIndex(s, MustPattern(s, 0, 1))] = 60
+	counts[SubgroupIndex(s, MustPattern(s, 1, 1))] = 5
+	mups := FindMUPs(s, counts, 50)
+	// X-black = 65 covered, female-X = 65 covered, so female-black (5)
+	// is a MUP. X-hispanic and X-asian (0) are MUPs at level 1.
+	want := map[string]int{"X2": 0, "X3": 0, "11": 5}
+	if len(mups) != len(want) {
+		t.Fatalf("MUPs = %v, want keys %v", mups, want)
+	}
+	for _, m := range mups {
+		if c, ok := want[m.Pattern.Key()]; !ok || c != m.Count {
+			t.Errorf("unexpected MUP %v count %d", m.Pattern, m.Count)
+		}
+	}
+}
+
+func TestFindMUPsRootUncovered(t *testing.T) {
+	s := threeBinary()
+	counts := make([]int, s.NumSubgroups())
+	counts[0] = 3
+	mups := FindMUPs(s, counts, 50)
+	if len(mups) != 1 || mups[0].Pattern.Level() != 0 {
+		t.Fatalf("want only the root MUP, got %v", mups)
+	}
+	if mups[0].Count != 3 {
+		t.Errorf("root count = %d, want 3", mups[0].Count)
+	}
+}
+
+func TestFindMUPsAgainstBruteForce(t *testing.T) {
+	schemas := []*Schema{
+		genderRace(),
+		threeBinary(),
+		MustSchema(
+			Attribute{Name: "a", Values: []string{"0", "1", "2", "3", "4"}},
+			Attribute{Name: "b", Values: []string{"0", "1", "2"}},
+		),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for si, s := range schemas {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(400)
+			tau := 1 + rng.Intn(60)
+			labels := randomLabels(s, n, rng)
+			counts := CountLabels(s, labels)
+			fast := FindMUPs(s, counts, tau)
+			slow := BruteForceMUPs(s, labels, tau)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Fatalf("schema %d trial %d (n=%d tau=%d): combiner %v != brute force %v",
+					si, trial, n, tau, fast, slow)
+			}
+		}
+	}
+}
+
+func TestMUPDefinitionProperty(t *testing.T) {
+	// Every reported MUP must be uncovered with all parents covered,
+	// and no uncovered pattern outside the set may have all parents
+	// covered.
+	s := genderRace()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		labels := randomLabels(s, rng.Intn(600), rng)
+		tau := 1 + rng.Intn(80)
+		counts := CountLabels(s, labels)
+		all := AllCounts(s, counts)
+		mups := FindMUPs(s, counts, tau)
+		isMUP := map[string]bool{}
+		for _, m := range mups {
+			isMUP[m.Pattern.Key()] = true
+			if all[m.Pattern.Key()] >= tau {
+				t.Fatalf("MUP %v is covered", m.Pattern)
+			}
+			for _, par := range m.Pattern.Parents() {
+				if all[par.Key()] < tau {
+					t.Fatalf("MUP %v has uncovered parent %v", m.Pattern, par)
+				}
+			}
+		}
+		for _, p := range Universe(s) {
+			if isMUP[p.Key()] || all[p.Key()] >= tau {
+				continue
+			}
+			allCovered := true
+			for _, par := range p.Parents() {
+				if all[par.Key()] < tau {
+					allCovered = false
+				}
+			}
+			if allCovered {
+				t.Fatalf("pattern %v should have been reported as MUP", p)
+			}
+		}
+	}
+}
+
+func TestUncoveredClosure(t *testing.T) {
+	s := genderRace()
+	counts := make([]int, s.NumSubgroups())
+	counts[SubgroupIndex(s, MustPattern(s, 0, 0))] = 100
+	unc := UncoveredClosure(s, counts, 50)
+	// Covered: root, male-X, X-white, male-white. Everything else
+	// (15 - 4 = 11 patterns) is uncovered.
+	if len(unc) != 11 {
+		t.Fatalf("uncovered closure = %d patterns, want 11", len(unc))
+	}
+}
+
+func TestPropagateBoundsExactLeaves(t *testing.T) {
+	s := genderRace()
+	rng := rand.New(rand.NewSource(5))
+	labels := randomLabels(s, 300, rng)
+	counts := CountLabels(s, labels)
+	leaves := make([]LeafBound, s.NumSubgroups())
+	for i, c := range counts {
+		leaves[i] = ExactLeaf(c)
+	}
+	bounds, err := PropagateBounds(s, leaves, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Universe(s) {
+		want := CountPattern(s, counts, p)
+		b := bounds[p.Key()]
+		if b.Lo != want || b.Hi != want {
+			t.Fatalf("bounds[%v] = %+v, want exact %d", p, b, want)
+		}
+	}
+}
+
+func TestPropagateBoundsSuperGroup(t *testing.T) {
+	s := genderRace()
+	// Super-group 0 = {female-hispanic, female-asian}, joint total 12,
+	// same parent female-X. All other leaves exact.
+	leaves := make([]LeafBound, s.NumSubgroups())
+	for i := range leaves {
+		leaves[i] = ExactLeaf(30)
+	}
+	fh := SubgroupIndex(s, MustPattern(s, 1, 2))
+	fa := SubgroupIndex(s, MustPattern(s, 1, 3))
+	leaves[fh] = LeafBound{Lo: 0, Hi: 12, SuperID: 0}
+	leaves[fa] = LeafBound{Lo: 0, Hi: 12, SuperID: 0}
+	bounds, err := PropagateBounds(s, leaves, map[int]int{0: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// female-X contains the whole super-group: exact 30+30+12 = 72.
+	fx := bounds[MustPattern(s, 1, Wildcard).Key()]
+	if fx.Lo != 72 || fx.Hi != 72 {
+		t.Errorf("female-X bounds = %+v, want exact 72", fx)
+	}
+	// X-hispanic splits it: 30 + [0,12].
+	xh := bounds[MustPattern(s, Wildcard, 2).Key()]
+	if xh.Lo != 30 || xh.Hi != 42 {
+		t.Errorf("X-hispanic bounds = %+v, want [30,42]", xh)
+	}
+	// Verdicts at tau 40: X-hispanic unknown, female-X covered.
+	if v := xh.Verdict(40); v != Unknown {
+		t.Errorf("X-hispanic verdict = %v, want unknown", v)
+	}
+	if v := fx.Verdict(40); v != Covered {
+		t.Errorf("female-X verdict = %v, want covered", v)
+	}
+	if v := xh.Verdict(100); v != Uncovered {
+		t.Errorf("verdict at tau=100 = %v, want uncovered", v)
+	}
+}
+
+func TestPropagateBoundsValidation(t *testing.T) {
+	s := genderRace()
+	if _, err := PropagateBounds(s, make([]LeafBound, 3), nil); err == nil {
+		t.Error("want leaf-arity error")
+	}
+	leaves := make([]LeafBound, s.NumSubgroups())
+	for i := range leaves {
+		leaves[i] = ExactLeaf(1)
+	}
+	leaves[0] = LeafBound{Lo: 5, Hi: 2, SuperID: -1}
+	if _, err := PropagateBounds(s, leaves, nil); err == nil {
+		t.Error("want invalid-bounds error")
+	}
+	leaves[0] = LeafBound{Lo: 0, Hi: 2, SuperID: 9}
+	if _, err := PropagateBounds(s, leaves, nil); err == nil {
+		t.Error("want unknown super-group error")
+	}
+}
+
+func TestCoverageString(t *testing.T) {
+	if Covered.String() != "covered" || Uncovered.String() != "uncovered" || Unknown.String() != "unknown" {
+		t.Error("Coverage.String wrong")
+	}
+}

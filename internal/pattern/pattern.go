@@ -1,0 +1,261 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wildcard is the "unspecified" slot value, written X in the paper.
+const Wildcard = -1
+
+// Pattern identifies a (sub)group: one slot per schema attribute
+// holding either a value index or Wildcard. The all-wildcard pattern
+// matches every object.
+//
+// Patterns are plain slices so they can be built with literals; use
+// the constructors for validation.
+type Pattern []int
+
+// NewPattern validates slots against the schema and returns a copy.
+func NewPattern(s *Schema, slots ...int) (Pattern, error) {
+	if len(slots) != s.NumAttrs() {
+		return nil, fmt.Errorf("pattern: got %d slots, schema has %d attributes", len(slots), s.NumAttrs())
+	}
+	p := make(Pattern, len(slots))
+	for i, v := range slots {
+		if v != Wildcard && (v < 0 || v >= s.Attr(i).Cardinality()) {
+			return nil, fmt.Errorf("pattern: slot %d value %d out of range for attribute %q", i, v, s.Attr(i).Name)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// MustPattern is like NewPattern but panics on error.
+func MustPattern(s *Schema, slots ...int) Pattern {
+	p, err := NewPattern(s, slots...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All returns the all-wildcard (most general) pattern for the schema.
+func All(s *Schema) Pattern {
+	p := make(Pattern, s.NumAttrs())
+	for i := range p {
+		p[i] = Wildcard
+	}
+	return p
+}
+
+// Point returns the fully-specified pattern equal to the label vector.
+func Point(labels []int) Pattern {
+	p := make(Pattern, len(labels))
+	copy(p, labels)
+	return p
+}
+
+// Parse reads the compact string form produced by String, e.g. "X01"
+// for three attributes, or multi-digit slots separated by '-', e.g.
+// "X-0-12". Single-rune form is accepted only when every slot is a
+// single character.
+func Parse(s *Schema, text string) (Pattern, error) {
+	var parts []string
+	if strings.ContainsRune(text, '-') {
+		parts = strings.Split(text, "-")
+	} else {
+		for _, r := range text {
+			parts = append(parts, string(r))
+		}
+	}
+	if len(parts) != s.NumAttrs() {
+		return nil, fmt.Errorf("pattern: %q has %d slots, schema has %d attributes", text, len(parts), s.NumAttrs())
+	}
+	slots := make([]int, len(parts))
+	for i, part := range parts {
+		if part == "X" || part == "x" {
+			slots[i] = Wildcard
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: bad slot %q in %q", part, text)
+		}
+		slots[i] = v
+	}
+	return NewPattern(s, slots...)
+}
+
+// Clone returns an independent copy of the pattern.
+func (p Pattern) Clone() Pattern {
+	q := make(Pattern, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether two patterns have identical slots.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Level returns the number of specified (non-wildcard) slots. The
+// all-wildcard pattern is level 0; fully-specified patterns are level d.
+func (p Pattern) Level() int {
+	n := 0
+	for _, v := range p {
+		if v != Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// FullySpecified reports whether every slot is specified.
+func (p Pattern) FullySpecified() bool { return p.Level() == len(p) }
+
+// Matches reports whether a label vector satisfies the pattern: every
+// specified slot must equal the corresponding label.
+func (p Pattern) Matches(labels []int) bool {
+	if len(labels) != len(p) {
+		return false
+	}
+	for i, v := range p {
+		if v != Wildcard && labels[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether p is at least as general as q: every object
+// matching q also matches p. (p covers p itself.)
+func (p Pattern) Covers(q Pattern) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i, v := range p {
+		if v == Wildcard {
+			continue
+		}
+		if q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Parents returns the immediate ancestors of p in the pattern graph:
+// each specified slot replaced, one at a time, by Wildcard. The
+// all-wildcard pattern has no parents.
+func (p Pattern) Parents() []Pattern {
+	var out []Pattern
+	for i, v := range p {
+		if v == Wildcard {
+			continue
+		}
+		q := p.Clone()
+		q[i] = Wildcard
+		out = append(out, q)
+	}
+	return out
+}
+
+// Children returns the immediate descendants of p: each unspecified
+// slot replaced, one at a time, by every possible value.
+func (p Pattern) Children(s *Schema) []Pattern {
+	var out []Pattern
+	for i, v := range p {
+		if v != Wildcard {
+			continue
+		}
+		for val := 0; val < s.Attr(i).Cardinality(); val++ {
+			q := p.Clone()
+			q[i] = val
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ChildrenAlong returns the children obtained by specifying only
+// attribute attr. These children partition the objects matching p,
+// which is what the count-combining step of Pattern-Combiner relies on.
+// It returns nil if attr is already specified.
+func (p Pattern) ChildrenAlong(s *Schema, attr int) []Pattern {
+	if p[attr] != Wildcard {
+		return nil
+	}
+	out := make([]Pattern, 0, s.Attr(attr).Cardinality())
+	for val := 0; val < s.Attr(attr).Cardinality(); val++ {
+		q := p.Clone()
+		q[attr] = val
+		out = append(out, q)
+	}
+	return out
+}
+
+// FirstWildcard returns the index of the first unspecified slot, or -1.
+func (p Pattern) FirstWildcard() int {
+	for i, v := range p {
+		if v == Wildcard {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the compact form: single-character slots are
+// concatenated ("X01"); otherwise slots are joined with '-'.
+func (p Pattern) String() string {
+	single := true
+	for _, v := range p {
+		if v > 9 {
+			single = false
+			break
+		}
+	}
+	var b strings.Builder
+	for i, v := range p {
+		if !single && i > 0 {
+			b.WriteByte('-')
+		}
+		if v == Wildcard {
+			b.WriteByte('X')
+		} else {
+			b.WriteString(strconv.Itoa(v))
+		}
+	}
+	return b.String()
+}
+
+// Format renders the pattern with schema names, e.g.
+// "gender=female AND race=X".
+func (p Pattern) Format(s *Schema) string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(s.Attr(i).Name)
+		b.WriteByte('=')
+		if v == Wildcard {
+			b.WriteByte('X')
+		} else {
+			b.WriteString(s.Attr(i).Values[v])
+		}
+	}
+	return b.String()
+}
+
+// Key returns a map key for the pattern (its String form).
+func (p Pattern) Key() string { return p.String() }

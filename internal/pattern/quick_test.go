@@ -1,0 +1,146 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickSchema is a fixed mixed-cardinality schema for property tests.
+func quickSchema() *Schema {
+	return MustSchema(
+		Attribute{Name: "a", Values: []string{"0", "1", "2"}},
+		Attribute{Name: "b", Values: []string{"0", "1"}},
+		Attribute{Name: "c", Values: []string{"0", "1", "2", "3"}},
+	)
+}
+
+// randomPattern draws a uniform pattern over the schema.
+func randomPattern(s *Schema, rng *rand.Rand) Pattern {
+	p := make(Pattern, s.NumAttrs())
+	for i := range p {
+		v := rng.Intn(s.Attr(i).Cardinality() + 1)
+		if v == s.Attr(i).Cardinality() {
+			p[i] = Wildcard
+		} else {
+			p[i] = v
+		}
+	}
+	return p
+}
+
+func randomLabelVec(s *Schema, rng *rand.Rand) []int {
+	l := make([]int, s.NumAttrs())
+	for i := range l {
+		l[i] = rng.Intn(s.Attr(i).Cardinality())
+	}
+	return l
+}
+
+func TestQuickCoversIsTransitive(t *testing.T) {
+	s := quickSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a chain p >= q >= r by specializing step by step, then
+		// check p.Covers(r).
+		p := randomPattern(s, rng)
+		q := p.Clone()
+		for i, v := range q {
+			if v == Wildcard && rng.Intn(2) == 0 {
+				q[i] = rng.Intn(s.Attr(i).Cardinality())
+			}
+		}
+		r := q.Clone()
+		for i, v := range r {
+			if v == Wildcard && rng.Intn(2) == 0 {
+				r[i] = rng.Intn(s.Attr(i).Cardinality())
+			}
+		}
+		return p.Covers(q) && q.Covers(r) && p.Covers(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoversImpliesMatchSubset(t *testing.T) {
+	// Property: if p covers q, every label vector matching q matches p.
+	s := quickSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomPattern(s, rng)
+		p := q.Clone()
+		for i, v := range p {
+			if v != Wildcard && rng.Intn(2) == 0 {
+				p[i] = Wildcard // generalize: p covers q by construction
+			}
+		}
+		if !p.Covers(q) {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			l := randomLabelVec(s, rng)
+			if q.Matches(l) && !p.Matches(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	s := quickSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(s, rng)
+		rt, err := Parse(s, p.String())
+		return err == nil && rt.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatchesEquivalentToSubgroupMembership(t *testing.T) {
+	// Property: p matches l iff the fully-specified pattern of l is
+	// covered by p.
+	s := quickSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(s, rng)
+		l := randomLabelVec(s, rng)
+		return p.Matches(l) == p.Covers(Point(l))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllCountsConsistency(t *testing.T) {
+	// Property: combiner counts equal direct counts for every pattern,
+	// on random small datasets.
+	s := quickSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		labels := make([][]int, n)
+		for i := range labels {
+			labels[i] = randomLabelVec(s, rng)
+		}
+		counts := CountLabels(s, labels)
+		all := AllCounts(s, counts)
+		for trial := 0; trial < 10; trial++ {
+			p := randomPattern(s, rng)
+			if all[p.Key()] != CountPattern(s, counts, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package repair turns an audit's verdicts into an acquisition plan:
+// how many objects of which fully-specified subgroups to collect so
+// that every pattern reaches the coverage threshold. This is the
+// "remedying" counterpart of detection — the paper demonstrates in
+// section 6.4 that adding samples from the uncovered region repairs
+// downstream disparity, and its coverage groundwork (Asudeh et al.,
+// ICDE 2019) frames acquisition as the fix for the MUPs the audit
+// finds.
+//
+// Acquisitions compose upward: an object added to subgroup
+// (female, black) counts toward female-X, X-black and the root as
+// well, so topping up the right leaves can repair many patterns at
+// once. Plan exploits this with a greedy strategy that is optimal for
+// a single attribute and near-optimal in practice for intersections.
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"imagecvg/internal/pattern"
+)
+
+// Plan maps fully-specified subgroup indices (pattern.SubgroupIndex)
+// to the number of objects to acquire.
+type Plan struct {
+	Schema    *pattern.Schema
+	Additions map[int]int
+	Total     int
+	// Deficits lists the uncovered patterns the plan repairs, with
+	// their original shortfalls.
+	Deficits []Deficit
+}
+
+// Deficit is one uncovered pattern and how many objects it lacked.
+type Deficit struct {
+	Pattern  pattern.Pattern
+	Shortage int
+}
+
+// String renders the plan as an acquisition checklist.
+func (p *Plan) String() string {
+	if p.Total == 0 {
+		return "no acquisitions needed: every pattern is covered"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "acquire %d objects:\n", p.Total)
+	idxs := make([]int, 0, len(p.Additions))
+	for idx := range p.Additions {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		fmt.Fprintf(&b, "  %4d x %s\n", p.Additions[idx],
+			pattern.SubgroupAt(p.Schema, idx).Format(p.Schema))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// NewPlan computes an acquisition plan from exact subgroup counts: the
+// minimum-total (greedy) set of leaf additions after which every
+// pattern in the universe has at least tau matches.
+//
+// The greedy strategy processes uncovered patterns from most to least
+// specific. A fully-specified pattern's deficit can only be fixed by
+// acquiring that exact subgroup. A general pattern's remaining deficit
+// is routed to the single descendant subgroup with the largest current
+// count (concentrating additions maximizes how many ancestors each
+// acquired object serves). For one attribute (every group disjoint)
+// this is exactly optimal; for intersections it is a tight heuristic
+// because routed additions are reused by all ancestors of the chosen
+// leaf.
+func NewPlan(s *pattern.Schema, counts []int, tau int) (*Plan, error) {
+	if s == nil {
+		return nil, fmt.Errorf("repair: nil schema")
+	}
+	if len(counts) != s.NumSubgroups() {
+		return nil, fmt.Errorf("repair: got %d counts, schema has %d subgroups", len(counts), s.NumSubgroups())
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("repair: tau=%d", tau)
+	}
+	cur := make([]int, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("repair: negative count at subgroup %d", i)
+		}
+		cur[i] = c
+	}
+
+	plan := &Plan{Schema: s, Additions: map[int]int{}}
+
+	// Record original deficits for reporting.
+	for _, p := range pattern.Universe(s) {
+		if c := pattern.CountPattern(s, counts, p); c < tau {
+			plan.Deficits = append(plan.Deficits, Deficit{Pattern: p, Shortage: tau - c})
+		}
+	}
+	sort.Slice(plan.Deficits, func(i, j int) bool {
+		if li, lj := plan.Deficits[i].Pattern.Level(), plan.Deficits[j].Pattern.Level(); li != lj {
+			return li < lj
+		}
+		return plan.Deficits[i].Pattern.Key() < plan.Deficits[j].Pattern.Key()
+	})
+
+	// Greedy repair, most specific patterns first.
+	universe := pattern.Universe(s)
+	sort.Slice(universe, func(i, j int) bool {
+		if li, lj := universe[i].Level(), universe[j].Level(); li != lj {
+			return li > lj
+		}
+		return universe[i].Key() < universe[j].Key()
+	})
+	subs := pattern.Subgroups(s)
+	for _, p := range universe {
+		deficit := tau - pattern.CountPattern(s, cur, p)
+		if deficit <= 0 {
+			continue
+		}
+		// Route the deficit to the descendant leaf with the largest
+		// current count (ties to the lowest index, deterministically).
+		best := -1
+		for idx, leaf := range subs {
+			if !p.Matches(leaf) {
+				continue
+			}
+			if best < 0 || cur[idx] > cur[best] {
+				best = idx
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("repair: pattern %v has no descendant subgroups", p)
+		}
+		cur[best] += deficit
+		plan.Additions[best] += deficit
+		plan.Total += deficit
+	}
+	return plan, nil
+}
+
+// Apply returns the subgroup counts after executing the plan.
+func (p *Plan) Apply(counts []int) []int {
+	out := make([]int, len(counts))
+	copy(out, counts)
+	for idx, add := range p.Additions {
+		out[idx] += add
+	}
+	return out
+}
+
+// Verify reports whether executing the plan leaves no uncovered
+// pattern at the threshold.
+func (p *Plan) Verify(counts []int, tau int) bool {
+	after := p.Apply(counts)
+	for _, q := range pattern.Universe(p.Schema) {
+		if pattern.CountPattern(p.Schema, after, q) < tau {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"imagecvg/internal/pattern"
+)
+
+func genderRace() *pattern.Schema {
+	return pattern.MustSchema(
+		pattern.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		pattern.Attribute{Name: "race", Values: []string{"white", "black"}},
+	)
+}
+
+func singleAttr() *pattern.Schema {
+	return pattern.MustSchema(pattern.Attribute{
+		Name: "race", Values: []string{"white", "black", "hispanic", "asian"},
+	})
+}
+
+func TestPlanValidation(t *testing.T) {
+	s := singleAttr()
+	if _, err := NewPlan(nil, nil, 10); err == nil {
+		t.Error("nil schema: want error")
+	}
+	if _, err := NewPlan(s, []int{1}, 10); err == nil {
+		t.Error("short counts: want error")
+	}
+	if _, err := NewPlan(s, []int{1, 2, 3, -1}, 10); err == nil {
+		t.Error("negative count: want error")
+	}
+	if _, err := NewPlan(s, []int{1, 2, 3, 4}, -1); err == nil {
+		t.Error("negative tau: want error")
+	}
+}
+
+func TestPlanSingleAttributeIsExact(t *testing.T) {
+	// One attribute: groups are disjoint, so the optimal plan tops up
+	// each deficient group exactly to tau (plus the root, which the
+	// group additions already satisfy here).
+	s := singleAttr()
+	counts := []int{100, 30, 50, 0}
+	plan, err := NewPlan(s, counts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total != 20+50 {
+		t.Errorf("total = %d, want 70 (20 black + 50 asian)", plan.Total)
+	}
+	if !plan.Verify(counts, 50) {
+		t.Error("plan does not repair coverage")
+	}
+	if plan.Additions[1] != 20 || plan.Additions[3] != 50 {
+		t.Errorf("additions = %v", plan.Additions)
+	}
+}
+
+func TestPlanAlreadyCovered(t *testing.T) {
+	s := singleAttr()
+	counts := []int{100, 90, 80, 70}
+	plan, err := NewPlan(s, counts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total != 0 || len(plan.Deficits) != 0 {
+		t.Errorf("covered data needs no plan: %+v", plan)
+	}
+	if !strings.Contains(plan.String(), "no acquisitions") {
+		t.Errorf("rendering = %q", plan.String())
+	}
+}
+
+func TestPlanIntersectionalReuse(t *testing.T) {
+	// female-black is empty while everything else is plentiful; fixing
+	// the leaf also fixes any ancestor deficits at once.
+	s := genderRace()
+	counts := make([]int, s.NumSubgroups())
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 0))] = 200
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 0))] = 180
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 1))] = 150
+	// female-black = 0
+	plan, err := NewPlan(s, counts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 1))
+	if plan.Additions[fb] != 50 || plan.Total != 50 {
+		t.Errorf("plan = %v (total %d), want 50 female-black only", plan.Additions, plan.Total)
+	}
+	if !plan.Verify(counts, 50) {
+		t.Error("plan does not repair coverage")
+	}
+	if !strings.Contains(plan.String(), "gender=female AND race=black") {
+		t.Errorf("rendering = %q", plan.String())
+	}
+}
+
+func TestPlanEmptyDatasetRepairsEverything(t *testing.T) {
+	s := genderRace()
+	counts := make([]int, s.NumSubgroups())
+	plan, err := NewPlan(s, counts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Verify(counts, 10) {
+		t.Error("plan does not repair the empty dataset")
+	}
+	// Every leaf must reach tau (leaves themselves are patterns), so
+	// the total is exactly numSubgroups*tau.
+	if plan.Total != s.NumSubgroups()*10 {
+		t.Errorf("total = %d, want %d", plan.Total, s.NumSubgroups()*10)
+	}
+}
+
+func TestPlanRandomizedAlwaysRepairs(t *testing.T) {
+	// Property: for random compositions and thresholds, the plan
+	// always verifies, and single-attribute plans are exactly the sum
+	// of per-group deficits (optimal).
+	schemas := []*pattern.Schema{singleAttr(), genderRace(), pattern.MustSchema(
+		pattern.Attribute{Name: "a", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
+		pattern.Attribute{Name: "c", Values: []string{"0", "1"}},
+	)}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		s := schemas[trial%len(schemas)]
+		counts := make([]int, s.NumSubgroups())
+		for i := range counts {
+			counts[i] = rng.Intn(120)
+		}
+		tau := 1 + rng.Intn(100)
+		plan, err := NewPlan(s, counts, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Verify(counts, tau) {
+			t.Fatalf("trial %d: plan fails to repair (schema %s tau %d counts %v additions %v)",
+				trial, s, tau, counts, plan.Additions)
+		}
+		if s.NumAttrs() == 1 {
+			want := 0
+			for _, c := range counts {
+				if c < tau {
+					want += tau - c
+				}
+			}
+			if plan.Total != want {
+				t.Fatalf("trial %d: single-attribute plan %d, optimal %d", trial, plan.Total, want)
+			}
+		}
+		// Sanity: never acquire more than repairing every leaf
+		// individually would.
+		worst := 0
+		for _, c := range counts {
+			if c < tau {
+				worst += tau - c
+			}
+		}
+		if plan.Total > worst {
+			t.Fatalf("trial %d: plan %d exceeds leaf-by-leaf repair %d", trial, plan.Total, worst)
+		}
+	}
+}
+
+func TestApplyDoesNotMutate(t *testing.T) {
+	s := singleAttr()
+	counts := []int{10, 10, 10, 10}
+	plan, err := NewPlan(s, counts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := plan.Apply(counts)
+	if counts[0] != 10 {
+		t.Error("Apply mutated the input")
+	}
+	if after[0] != 20 {
+		t.Errorf("after = %v", after)
+	}
+}

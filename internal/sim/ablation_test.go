@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblationCoreOrdering(t *testing.T) {
+	res, err := RunAblationCore(71, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Variant] = r
+	}
+	full := byName["full algorithm"]
+	noSib := byName["no sibling inference"]
+	single := byName["singleton counting"]
+	both := byName["both removed"]
+
+	// Sibling inference saves tasks in the uncovered regimes where
+	// whole subtrees prune.
+	if noSib.UncoveredTasks <= full.UncoveredTasks {
+		t.Errorf("no-sibling uncovered %.1f should exceed full %.1f",
+			noSib.UncoveredTasks, full.UncoveredTasks)
+	}
+	// Lower-bound counting is what allows early stopping in the
+	// covered regime.
+	if single.CoveredTasks <= full.CoveredTasks {
+		t.Errorf("singleton-counting covered %.1f should exceed full %.1f",
+			single.CoveredTasks, full.CoveredTasks)
+	}
+	// Removing both is never cheaper than the full algorithm anywhere.
+	if both.UncoveredTasks < full.UncoveredTasks || both.ThresholdTasks < full.ThresholdTasks ||
+		both.CoveredTasks < full.CoveredTasks {
+		t.Errorf("both-removed beat the full algorithm: %+v vs %+v", both, full)
+	}
+	if !strings.Contains(res.String(), "full algorithm") {
+		t.Error("rendering missing variants")
+	}
+}
+
+func TestRunAblationSampling(t *testing.T) {
+	res, err := RunAblationSampling(73, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 budgets", len(res.Rows))
+	}
+	byLabel := map[string]float64{}
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r.Tasks
+	}
+	// c=0 merges the majority into the super-group (no sample to tell
+	// it apart), triggering the covered-super-group penalty: it must
+	// cost more than the paper's c=2.
+	if byLabel["none (c=0)"] <= byLabel["c=2 (paper)"] {
+		t.Errorf("c=0 (%.1f) should cost more than c=2 (%.1f)",
+			byLabel["none (c=0)"], byLabel["c=2 (paper)"])
+	}
+	// Oversampling pays for labels that save nothing: c=8 costs more
+	// than c=2 in this setting.
+	if byLabel["c=8"] <= byLabel["c=2 (paper)"] {
+		t.Errorf("c=8 (%.1f) should cost more than c=2 (%.1f)",
+			byLabel["c=8"], byLabel["c=2 (paper)"])
+	}
+	if !strings.Contains(res.String(), "c=2") {
+		t.Error("rendering missing budgets")
+	}
+}
+
+func TestRunNoiseSweep(t *testing.T) {
+	res, err := RunNoiseSweep(79, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 noise levels", len(res.Rows))
+	}
+	// The paper's regime (small slip, 3-way majority) must be fully
+	// correct.
+	for _, r := range res.Rows[:3] {
+		if r.CorrectVerdicts != 1 {
+			t.Errorf("slip %.0f%%: correct fraction %.2f, want 1.0",
+				100*r.SlipRate, r.CorrectVerdicts)
+		}
+	}
+	if !strings.Contains(res.String(), "majority vote") {
+		t.Error("rendering missing title")
+	}
+}

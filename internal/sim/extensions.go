@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/crowd"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/stats"
+)
+
+// BaselineRow compares Group-Coverage against the statistical sampling
+// estimator at one group size.
+type BaselineRow struct {
+	Females        int
+	GroupTasks     float64
+	SampledTasks   float64
+	SampledDecided float64 // fraction of trials the estimator decided
+	SampledCorrect float64 // fraction of decided trials that were right
+}
+
+// BaselineResult is the exact-vs-statistical comparison.
+type BaselineResult struct {
+	N, Tau int
+	Rows   []BaselineRow
+}
+
+// String renders the comparison.
+func (r *BaselineResult) String() string {
+	t := stats.NewTable("females f", "Group-Coverage tasks", "sampling tasks", "sampling decided", "sampling correct")
+	for _, row := range r.Rows {
+		t.AddRow(row.Females, fmt.Sprintf("%.1f", row.GroupTasks), fmt.Sprintf("%.1f", row.SampledTasks),
+			fmt.Sprintf("%.2f", row.SampledDecided), fmt.Sprintf("%.2f", row.SampledCorrect))
+	}
+	return fmt.Sprintf("Extension: exact group testing vs Hoeffding sampling (N=%d tau=%d, delta=0.05, budget=N/4)\n%s",
+		r.N, r.Tau, t.String())
+}
+
+// RunSamplingBaseline compares Group-Coverage with the statistical
+// estimator (SampledCoverage) across group sizes. Far from the
+// threshold, sampling is cheap but only probabilistic; at f ~ tau it
+// burns its whole budget and still cannot decide — the regime that
+// motivates the paper's exact algorithms.
+func RunSamplingBaseline(seed int64, trials int) (*BaselineResult, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	const n, tau = 20_000, 50
+	res := &BaselineResult{N: n, Tau: tau}
+	for fi, f := range []int{0, tau / 2, tau, 2 * tau, 10 * tau, 100 * tau} {
+		var gcTasks, smTasks []float64
+		decided, correct := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(seed + int64(100*fi+trial)))
+			d, err := dataset.BinaryWithMinority(n, f, rng)
+			if err != nil {
+				return nil, err
+			}
+			g := dataset.Female(d.Schema())
+			gc, err := core.GroupCoverage(core.NewTruthOracle(d), d.IDs(), 50, tau, g)
+			if err != nil {
+				return nil, err
+			}
+			gcTasks = append(gcTasks, float64(gc.Tasks))
+			sm, err := core.SampledCoverage(core.NewTruthOracle(d), d.IDs(), tau, 0.05, n/4, g, rng)
+			if err != nil {
+				return nil, err
+			}
+			smTasks = append(smTasks, float64(sm.Tasks))
+			if sm.Decided {
+				decided++
+				if sm.Covered == (f >= tau) {
+					correct++
+				}
+			}
+		}
+		row := BaselineRow{
+			Females:        f,
+			GroupTasks:     stats.Summarize(gcTasks).Mean,
+			SampledTasks:   stats.Summarize(smTasks).Mean,
+			SampledDecided: float64(decided) / float64(trials),
+		}
+		if decided > 0 {
+			row.SampledCorrect = float64(correct) / float64(decided)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AggregationRow is one (spammer fraction, aggregator) cell.
+type AggregationRow struct {
+	SpammerFraction float64
+	Aggregator      string
+	CorrectVerdicts float64
+	HITs            float64
+}
+
+// AggregationResult compares truth-inference strategies under
+// increasingly hostile worker pools.
+type AggregationResult struct {
+	Rows []AggregationRow
+}
+
+// String renders the comparison.
+func (r *AggregationResult) String() string {
+	t := stats.NewTable("spammer fraction", "aggregator", "correct verdicts", "#HITs")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*row.SpammerFraction), row.Aggregator,
+			fmt.Sprintf("%.2f", row.CorrectVerdicts), fmt.Sprintf("%.1f", row.HITs))
+	}
+	return "Extension: truth inference under spammer-heavy pools (FERET slice, tau=n=50, 5 assignments)\n" + t.String()
+}
+
+// RunAggregationComparison audits the FERET slice through worker pools
+// with growing spammer fractions, comparing plain majority vote with
+// reliability-weighted voting. It quantifies how much the paper's
+// redundancy-based quality control can absorb and what the smarter
+// aggregator buys back.
+func RunAggregationComparison(seed int64, trials int) (*AggregationResult, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	preset := dataset.FERETTable1
+	res := &AggregationResult{}
+	for si, spam := range []float64{0, 0.2, 0.4} {
+		type agg struct {
+			name string
+			make func() crowd.Aggregator
+		}
+		aggs := []agg{
+			{"majority vote", func() crowd.Aggregator { return crowd.MajorityVote{} }},
+			{"weighted vote", func() crowd.Aggregator { return crowd.NewWeightedVote(0.8) }},
+		}
+		for ai, a := range aggs {
+			var hits []float64
+			correct := 0
+			for trial := 0; trial < trials; trial++ {
+				trialSeed := seed + int64(10_000*si+100*ai+trial)
+				rng := rand.New(rand.NewSource(trialSeed))
+				d := preset.Generate(rng)
+				g := dataset.Female(d.Schema())
+				cfg := crowd.DefaultConfig(trialSeed + 5)
+				cfg.Assignments = 5
+				cfg.Aggregator = a.make()
+				cfg.Profile = crowd.PoolProfile{
+					Size: 40, SlipMin: 0.005, SlipMax: 0.02,
+					PerceptNoise: 15, SpammerFraction: spam,
+				}
+				platform, err := crowd.NewPlatform(d, cfg)
+				if err != nil {
+					return nil, err
+				}
+				r, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g)
+				if err != nil {
+					return nil, err
+				}
+				hits = append(hits, float64(platform.Ledger().TotalHITs()))
+				if r.Covered {
+					correct++
+				}
+			}
+			res.Rows = append(res.Rows, AggregationRow{
+				SpammerFraction: spam,
+				Aggregator:      a.name,
+				CorrectVerdicts: float64(correct) / float64(trials),
+				HITs:            stats.Summarize(hits).Mean,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSamplingBaselineShape(t *testing.T) {
+	res, err := RunSamplingBaseline(83, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	byF := map[int]BaselineRow{}
+	for _, r := range res.Rows {
+		byF[r.Females] = r
+	}
+	// At the threshold (f = tau), sampling cannot decide within its
+	// budget while Group-Coverage decides exactly.
+	atTau := byF[50]
+	if atTau.SampledDecided > 0.5 {
+		t.Errorf("f=tau: sampling decided %.2f of trials; should mostly fail", atTau.SampledDecided)
+	}
+	if atTau.GroupTasks <= 0 {
+		t.Error("Group-Coverage must run")
+	}
+	// Far from the threshold (f = 100*tau), sampling decides cheaply
+	// and correctly.
+	far := byF[5000]
+	if far.SampledDecided < 1 {
+		t.Errorf("f=100tau: sampling decided %.2f, want 1.0", far.SampledDecided)
+	}
+	if far.SampledCorrect < 1 {
+		t.Errorf("f=100tau: sampling correct %.2f, want 1.0", far.SampledCorrect)
+	}
+	if far.SampledTasks >= far.GroupTasks {
+		t.Errorf("f=100tau: sampling (%.1f) should undercut Group-Coverage (%.1f)",
+			far.SampledTasks, far.GroupTasks)
+	}
+	if !strings.Contains(res.String(), "Hoeffding") {
+		t.Error("rendering missing title")
+	}
+}
+
+func TestRunAggregationComparison(t *testing.T) {
+	res, err := RunAggregationComparison(89, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 spammer levels x 2 aggregators", len(res.Rows))
+	}
+	// Clean pools: both aggregators fully correct.
+	for _, r := range res.Rows {
+		if r.SpammerFraction == 0 && r.CorrectVerdicts != 1 {
+			t.Errorf("clean pool, %s: correct %.2f, want 1.0", r.Aggregator, r.CorrectVerdicts)
+		}
+		if r.CorrectVerdicts < 0 || r.CorrectVerdicts > 1 {
+			t.Errorf("correct fraction out of range: %+v", r)
+		}
+		if r.HITs <= 0 {
+			t.Errorf("no HITs recorded: %+v", r)
+		}
+	}
+	if !strings.Contains(res.String(), "majority vote") {
+		t.Error("rendering missing aggregators")
+	}
+}

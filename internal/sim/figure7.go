@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/stats"
+)
+
+// Figure7Params fixes the defaults of the single-group performance
+// sweeps (section 6.5.1): N = 100,000, tau = n = 50.
+type Figure7Params struct {
+	N, Tau, SetSize int
+	// BaseCoverage toggles the expensive point-query baseline series
+	// (the paper plots it; large-N sweeps may disable it).
+	BaseCoverage bool
+}
+
+// DefaultFigure7Params mirrors the paper's defaults.
+func DefaultFigure7Params() Figure7Params {
+	return Figure7Params{N: 100_000, Tau: 50, SetSize: 50, BaseCoverage: true}
+}
+
+// Figure7Point is one x-axis position of a Figure 7 sweep.
+type Figure7Point struct {
+	X               int
+	GroupCoverage   float64
+	BaseCoverage    float64
+	UpperBound      float64
+	CoveredFraction float64
+}
+
+// Figure7Result is one sweep series.
+type Figure7Result struct {
+	Name, XLabel string
+	HasBase      bool
+	Points       []Figure7Point
+}
+
+// String renders the series as a table (the paper plots it log-scale).
+func (r *Figure7Result) String() string {
+	t := stats.NewTable(r.XLabel, "Group-Coverage tasks", "Base-Coverage tasks", "upper bound", "covered frac")
+	for _, p := range r.Points {
+		base := "-"
+		if r.HasBase {
+			base = fmt.Sprintf("%.1f", p.BaseCoverage)
+		}
+		t.AddRow(p.X, fmt.Sprintf("%.1f", p.GroupCoverage), base,
+			fmt.Sprintf("%.1f", p.UpperBound), fmt.Sprintf("%.2f", p.CoveredFraction))
+	}
+	return fmt.Sprintf("Figure 7 (%s)\n%s", r.Name, t.String())
+}
+
+// sweepPoint measures mean task counts at one parameter setting.
+func sweepPoint(x, n, females, tau, setSize int, withBase bool, seed int64, trials int) (Figure7Point, error) {
+	var gc, base, covered []float64
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seed + int64(trial)))
+		d, err := dataset.BinaryWithMinority(n, females, rng)
+		if err != nil {
+			return Figure7Point{}, err
+		}
+		g := dataset.Female(d.Schema())
+		o := core.NewTruthOracle(d)
+		res, err := core.GroupCoverage(o, d.IDs(), setSize, tau, g)
+		if err != nil {
+			return Figure7Point{}, err
+		}
+		gc = append(gc, float64(res.Tasks))
+		if res.Covered {
+			covered = append(covered, 1)
+		} else {
+			covered = append(covered, 0)
+		}
+		if withBase {
+			ob := core.NewTruthOracle(d)
+			b, err := core.BaseCoverage(ob, d.IDs(), tau, g)
+			if err != nil {
+				return Figure7Point{}, err
+			}
+			base = append(base, float64(b.Tasks))
+		}
+	}
+	p := Figure7Point{
+		X:               x,
+		GroupCoverage:   stats.Summarize(gc).Mean,
+		UpperBound:      core.UpperBoundHITs(n, setSize, tau),
+		CoveredFraction: stats.Summarize(covered).Mean,
+	}
+	if withBase {
+		p.BaseCoverage = stats.Summarize(base).Mean
+	}
+	return p, nil
+}
+
+// RunFigure7a reproduces Figure 7a: the number of tasks as the number
+// of group members f varies over [0, 2*tau]. Cost peaks at f close to
+// tau and falls off on both sides.
+func RunFigure7a(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	res := &Figure7Result{
+		Name:    fmt.Sprintf("varying #females, N=%d tau=%d n=%d", p.N, p.Tau, p.SetSize),
+		XLabel:  "females f",
+		HasBase: p.BaseCoverage,
+	}
+	step := p.Tau / 5
+	if step < 1 {
+		step = 1
+	}
+	for f := 0; f <= 2*p.Tau; f += step {
+		pt, err := sweepPoint(f, p.N, f, p.Tau, p.SetSize, p.BaseCoverage, seed+int64(f)*101, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunFigure7b reproduces Figure 7b: tasks as tau varies with exactly
+// f = tau group members — the worst case, which hugs the upper bound
+// and grows linearly in tau.
+func RunFigure7b(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	res := &Figure7Result{
+		Name:    fmt.Sprintf("varying coverage threshold, N=%d n=%d, f=tau", p.N, p.SetSize),
+		XLabel:  "tau",
+		HasBase: p.BaseCoverage,
+	}
+	taus := []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tau := range taus {
+		pt, err := sweepPoint(tau, p.N, tau, tau, p.SetSize, p.BaseCoverage, seed+int64(tau)*211, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunFigure7c reproduces Figure 7c: tasks as the set-size bound n
+// varies; the jump below n~20 and the flat logarithmic tail above it.
+func RunFigure7c(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	res := &Figure7Result{
+		Name:    fmt.Sprintf("varying subset size, N=%d tau=%d, f=tau", p.N, p.Tau),
+		XLabel:  "set size n",
+		HasBase: p.BaseCoverage,
+	}
+	sizes := []int{1, 2, 5, 10, 20, 50, 100, 200, 300, 400}
+	for _, n := range sizes {
+		pt, err := sweepPoint(n, p.N, p.Tau, p.Tau, n, p.BaseCoverage, seed+int64(n)*307, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunFigure7d reproduces Figure 7d: tasks as the dataset size N grows
+// from 1K to 1M with f = tau; growth is linear and stays below 6 % of
+// N.
+func RunFigure7d(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	res := &Figure7Result{
+		Name:    fmt.Sprintf("varying dataset size, tau=%d n=%d, f=tau", p.Tau, p.SetSize),
+		XLabel:  "dataset size N",
+		HasBase: p.BaseCoverage,
+	}
+	sizes := []int{1_000, 10_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
+	for _, n := range sizes {
+		pt, err := sweepPoint(n, n, p.Tau, p.Tau, p.SetSize, p.BaseCoverage, seed+int64(n), trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

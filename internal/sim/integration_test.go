@@ -1,0 +1,182 @@
+package sim
+
+// End-to-end integration tests: the full algorithm stack running
+// against the noisy crowd platform (rendered glyphs, imperfect
+// workers, majority vote) instead of a perfect oracle. These are the
+// paths a real deployment exercises.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/classifier"
+	"imagecvg/internal/core"
+	"imagecvg/internal/crowd"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+func newPlatform(t *testing.T, d *dataset.Dataset, seed int64) *crowd.Platform {
+	t.Helper()
+	cfg := crowd.DefaultConfig(seed)
+	p, err := crowd.NewPlatform(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMultipleCoverageThroughCrowd(t *testing.T) {
+	s := pattern.MustSchema(pattern.Attribute{
+		Name:   "race",
+		Values: []string{"white", "black", "hispanic", "asian"},
+	})
+	rng := rand.New(rand.NewSource(201))
+	counts := []int{900, 60, 12, 8}
+	d := dataset.MustFromCounts(s, counts, rng)
+	platform := newPlatform(t, d, 202)
+	groups := pattern.GroupsForAttribute(s, 0)
+
+	res, err := core.MultipleCoverage(platform, d.IDs(), 50, 50, groups,
+		core.MultipleOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, false}
+	for gi, r := range res.Results {
+		if r.Covered != want[gi] {
+			t.Errorf("group %d (%s): covered=%v, want %v", gi, r.Group, r.Covered, want[gi])
+		}
+	}
+	if got := platform.Ledger().TotalHITs(); got != res.Tasks {
+		t.Errorf("ledger HITs %d != reported tasks %d", got, res.Tasks)
+	}
+	if platform.Ledger().Snapshot().PointHITs < 100 {
+		t.Errorf("sampling phase should issue c*tau=100 point HITs, ledger has %d",
+			platform.Ledger().Snapshot().PointHITs)
+	}
+}
+
+func TestIntersectionalCoverageThroughCrowd(t *testing.T) {
+	s := pattern.MustSchema(
+		pattern.Attribute{Name: "gender", Values: []string{"male", "female"}},
+		pattern.Attribute{Name: "race", Values: []string{"white", "black"}},
+	)
+	rng := rand.New(rand.NewSource(203))
+	counts := make([]int, s.NumSubgroups())
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 0))] = 400
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 0))] = 300
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 0, 1))] = 120
+	counts[pattern.SubgroupIndex(s, pattern.MustPattern(s, 1, 1))] = 4
+	d := dataset.MustFromCounts(s, counts, rng)
+	platform := newPlatform(t, d, 204)
+
+	res, err := core.IntersectionalCoverage(platform, d.IDs(), 50, 50, s,
+		core.MultipleOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// female-black must surface as a MUP even through worker noise.
+	found := false
+	for _, m := range res.MUPs {
+		if m.Pattern.Equal(pattern.MustPattern(s, 1, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("female-black missing from MUPs: %v", res.MUPs)
+	}
+	root := res.Verdicts[pattern.All(s).Key()]
+	if root.Coverage != pattern.Covered {
+		t.Errorf("root verdict = %v, want covered", root.Coverage)
+	}
+}
+
+func TestClassifierCoverageThroughCrowd(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	preset := dataset.FERETUnique
+	d := preset.Generate(rng)
+	g := dataset.Female(d.Schema())
+	sim, err := classifier.NewSimulated("DeepFace (opencv)", preset.Females, preset.Males, 0.7957, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := sim.Predict(d, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := newPlatform(t, d, 206)
+	res, err := core.ClassifierCoverage(platform, d.IDs(), predicted, 50, 50, g,
+		core.ClassifierOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Error("403 females must be covered through the crowd")
+	}
+	if res.Strategy != core.StrategyPartition {
+		t.Errorf("strategy = %s, want partition", res.Strategy)
+	}
+	snap := platform.Ledger().Snapshot()
+	if snap.ReverseSetHITs == 0 {
+		t.Error("partitioning must issue reverse set queries")
+	}
+	if snap.TotalHITs != res.Tasks {
+		t.Errorf("ledger %d != tasks %d", snap.TotalHITs, res.Tasks)
+	}
+}
+
+func TestCrowdWithSizePricing(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	d, err := dataset.BinaryWithMinority(500, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crowd.DefaultConfig(208)
+	cfg.Pricing = crowd.SizePricing{Base: 0.02, PerImage: 0.001}
+	platform, err := crowd.NewPlatform(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.Female(d.Schema())
+	if _, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g); err != nil {
+		t.Fatal(err)
+	}
+	snap := platform.Ledger().Snapshot()
+	// Per-image pricing: a 50-image set costs 0.07 per assignment, so
+	// total cost must exceed what fixed 0.02 pricing would charge and
+	// stay below flat 0.07 * assignments only if some sets were smaller.
+	if snap.WorkerCost <= 0.02*float64(snap.Assignments) {
+		t.Errorf("size pricing not applied: cost %.3f for %d assignments",
+			snap.WorkerCost, snap.Assignments)
+	}
+	if snap.WorkerCost > 0.071*float64(snap.Assignments) {
+		t.Errorf("size pricing overcharged: cost %.3f for %d assignments",
+			snap.WorkerCost, snap.Assignments)
+	}
+	if math.IsNaN(snap.TotalCost) {
+		t.Error("NaN cost")
+	}
+}
+
+func TestBaseCoverageThroughCrowdCostsPointHITs(t *testing.T) {
+	rng := rand.New(rand.NewSource(209))
+	d, err := dataset.BinaryWithMinority(300, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := newPlatform(t, d, 210)
+	g := dataset.Female(d.Schema())
+	res, err := core.BaseCoverage(platform, d.IDs(), 20, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Error("80 >= 20 must be covered")
+	}
+	snap := platform.Ledger().Snapshot()
+	if snap.PointHITs != res.Tasks || snap.SetHITs != 0 {
+		t.Errorf("base coverage must use point HITs only: %+v", snap)
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim is the experiment harness: one entry point per table
+// and figure of the paper's evaluation (section 6). Each Run function
+// regenerates the corresponding artifact — the same rows or series the
+// paper reports — against the simulated substrates, and returns a
+// result that renders as an aligned text table.
+//
+// The harness is shared by the cvgbench CLI and by the repository's
+// testing.B benchmarks, so `go test -bench .` reproduces the entire
+// evaluation.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment names one reproducible paper artifact.
+type Experiment struct {
+	// ID is the harness name, e.g. "table1" or "figure7a".
+	ID string
+	// Paper is the artifact's name in the paper.
+	Paper string
+	// Description summarizes the workload.
+	Description string
+	// Run executes the experiment with the given seed and trial count
+	// and returns a printable result.
+	Run func(seed int64, trials int) (fmt.Stringer, error)
+}
+
+// Experiments returns the registry of all reproduced artifacts, sorted
+// by ID.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{
+			ID: "table1", Paper: "Table 1",
+			Description: "female coverage on FERET via the simulated crowd, three quality-control settings",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunTable1(DefaultTable1Params(), seed, trials)
+			},
+		},
+		{
+			ID: "table2", Paper: "Table 2",
+			Description: "Classifier-Coverage vs Group-Coverage across nine dataset/classifier pairs",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunTable2(seed, trials)
+			},
+		},
+		{
+			ID: "figure6a", Paper: "Figure 6a",
+			Description: "drowsiness-detection disparity vs added spectacled samples",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure6a(seed, trials)
+			},
+		},
+		{
+			ID: "figure6b", Paper: "Figure 6b",
+			Description: "gender-detection disparity vs added Black-subject samples",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure6b(seed, trials)
+			},
+		},
+		{
+			ID: "figure7a", Paper: "Figure 7a",
+			Description: "tasks vs number of group members f in [0, 2*tau]",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7a(DefaultFigure7Params(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7b", Paper: "Figure 7b",
+			Description: "tasks vs coverage threshold tau at the worst case f = tau",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7b(DefaultFigure7Params(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7c", Paper: "Figure 7c",
+			Description: "tasks vs set-size upper bound n",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7c(DefaultFigure7Params(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7d", Paper: "Figure 7d",
+			Description: "tasks vs dataset size N from 1K to 1M",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7d(DefaultFigure7Params(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7e", Paper: "Figure 7e",
+			Description: "Multiple-Coverage vs brute force across Table 3 settings (sigma=4)",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7e(DefaultMultiParams(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7f", Paper: "Figure 7f",
+			Description: "Intersectional-Coverage vs brute force across Table 3 settings (2x2x2)",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7f(DefaultMultiParams(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7g", Paper: "Figure 7g",
+			Description: "Multiple-Coverage vs brute force for attribute cardinalities 3..6",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7g(DefaultMultiParams(), seed, trials)
+			},
+		},
+		{
+			ID: "figure7h", Paper: "Figure 7h",
+			Description: "Intersectional-Coverage for schemas (2,4) and (2,2,2)",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunFigure7h(DefaultMultiParams(), seed, trials)
+			},
+		},
+		{
+			ID: "ablation-core", Paper: "extension",
+			Description: "Group-Coverage design-choice ablation (sibling inference, lower-bound counting)",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunAblationCore(seed, trials)
+			},
+		},
+		{
+			ID: "ablation-sampling", Paper: "extension",
+			Description: "Multiple-Coverage sampling factor c sweep (paper default c=2)",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunAblationSampling(seed, trials)
+			},
+		},
+		{
+			ID: "noise-sweep", Paper: "extension",
+			Description: "audit robustness vs worker slip rate under 3-way majority vote",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunNoiseSweep(seed, trials)
+			},
+		},
+		{
+			ID: "sampling-baseline", Paper: "extension",
+			Description: "exact group testing vs Hoeffding-bound statistical estimation",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunSamplingBaseline(seed, trials)
+			},
+		},
+		{
+			ID: "aggregation", Paper: "extension",
+			Description: "majority vs reliability-weighted voting under spammer-heavy pools",
+			Run: func(seed int64, trials int) (fmt.Stringer, error) {
+				return RunAggregationComparison(seed, trials)
+			},
+		},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/crowd"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/stats"
+)
+
+// Table1Params configures the live-crowd reproduction.
+type Table1Params struct {
+	// Preset is the dataset composition (the paper's FERET slice).
+	Preset dataset.Preset
+	// Tau and N are the coverage threshold and set-size bound.
+	Tau, SetSize int
+	// PoolSize is the number of simulated workers.
+	PoolSize int
+}
+
+// DefaultTable1Params mirrors the paper: FERET with 215 females and
+// 1307 males, tau = n = 50.
+func DefaultTable1Params() Table1Params {
+	return Table1Params{Preset: dataset.FERETTable1, Tau: 50, SetSize: 50, PoolSize: 40}
+}
+
+// Table1Row is one quality-control configuration's outcome.
+type Table1Row struct {
+	QualityControl    string
+	GroupCoverageHITs float64
+	BaseCoverageHITs  float64
+	UpperBoundHITs    int
+	Covered           bool
+	TotalCostUSD      float64
+}
+
+// Table1Result is the reproduced Table 1.
+type Table1Result struct {
+	Params Table1Params
+	Rows   []Table1Row
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	t := stats.NewTable("quality control", "Group-Coverage #HITs", "Base-Coverage #HITs", "upper-bound #HITs", "covered", "cost ($)")
+	for _, row := range r.Rows {
+		t.AddRow(row.QualityControl, row.GroupCoverageHITs, row.BaseCoverageHITs,
+			row.UpperBoundHITs, row.Covered, row.TotalCostUSD)
+	}
+	return fmt.Sprintf("Table 1: %s, tau=%d, n=%d\n%s",
+		r.Params.Preset, r.Params.Tau, r.Params.SetSize, t.String())
+}
+
+// table1Settings are the paper's three quality-control configurations.
+func table1Settings() []struct {
+	name          string
+	qualification *crowd.QualificationTest
+	rating        *crowd.RatingFilter
+} {
+	return []struct {
+		name          string
+		qualification *crowd.QualificationTest
+		rating        *crowd.RatingFilter
+	}{
+		{"Majority Vote", nil, nil},
+		{"Qualification Test, Majority Vote", crowd.DefaultQualification(), nil},
+		{"Rating (>=95%, >=100 HITs), Majority Vote", nil, crowd.DefaultRating()},
+	}
+}
+
+// RunTable1 reproduces Table 1: female-coverage identification on the
+// FERET slice through the full crowd simulator (imperfect workers,
+// 3-way majority vote, fixed pricing), one row per quality-control
+// setting, averaged over trials independent crowd deployments.
+func RunTable1(p Table1Params, seed int64, trials int) (*Table1Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	res := &Table1Result{Params: p}
+	for si, setting := range table1Settings() {
+		var gcHITs, baseHITs, cost []float64
+		covered := true
+		for trial := 0; trial < trials; trial++ {
+			trialSeed := seed + int64(1000*si+trial)
+			rng := rand.New(rand.NewSource(trialSeed))
+			d := p.Preset.Generate(rng)
+			g := dataset.Female(d.Schema())
+
+			cfg := crowd.DefaultConfig(trialSeed + 7)
+			cfg.Profile = crowd.DefaultProfile(p.PoolSize)
+			cfg.Qualification = setting.qualification
+			cfg.Rating = setting.rating
+			platform, err := crowd.NewPlatform(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			gc, err := core.GroupCoverage(platform, d.IDs(), p.SetSize, p.Tau, g)
+			if err != nil {
+				return nil, err
+			}
+			gcHITs = append(gcHITs, float64(platform.Ledger().TotalHITs()))
+			cost = append(cost, platform.Ledger().TotalCost())
+			covered = covered && gc.Covered
+
+			basePlatform, err := crowd.NewPlatform(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.BaseCoverage(basePlatform, d.IDs(), p.Tau, g); err != nil {
+				return nil, err
+			}
+			baseHITs = append(baseHITs, float64(basePlatform.Ledger().TotalHITs()))
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			QualityControl:    setting.name,
+			GroupCoverageHITs: stats.Summarize(gcHITs).Mean,
+			BaseCoverageHITs:  stats.Summarize(baseHITs).Mean,
+			UpperBoundHITs:    int(math.Round(core.UpperBoundHITs(p.Preset.Size(), p.SetSize, p.Tau))),
+			Covered:           covered,
+			TotalCostUSD:      stats.Summarize(cost).Mean,
+		})
+	}
+	return res, nil
+}

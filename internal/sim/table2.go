@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"imagecvg/internal/classifier"
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/stats"
+)
+
+// Table2ResultRow is one (dataset, classifier) row of the reproduced
+// Table 2.
+type Table2ResultRow struct {
+	Dataset    string
+	Classifier string
+	// Accuracy and Precision are the realized statistics of the
+	// simulated classifier (they match the published ones by
+	// construction, up to rounding).
+	Accuracy, Precision float64
+	// Strategy chosen by Classifier-Coverage ("partition"/"label").
+	Strategy string
+	// ClassifierCoverageHITs and GroupCoverageHITs are mean task
+	// counts over the trials.
+	ClassifierCoverageHITs float64
+	GroupCoverageHITs      float64
+	// Covered is the (ground-truth-correct) verdict.
+	Covered bool
+}
+
+// Table2Result is the reproduced Table 2.
+type Table2Result struct {
+	Rows []Table2ResultRow
+}
+
+// String renders the table in the paper's layout.
+func (r *Table2Result) String() string {
+	t := stats.NewTable("dataset", "classifier", "accuracy", "precision(F)",
+		"strategy", "Classifier-Coverage #HITs", "Group-Coverage #HITs", "covered")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.Classifier,
+			fmt.Sprintf("%.2f", 100*row.Accuracy), fmt.Sprintf("%.2f", 100*row.Precision),
+			row.Strategy, row.ClassifierCoverageHITs, row.GroupCoverageHITs, row.Covered)
+	}
+	return "Table 2: female coverage detection on gender-classified datasets (tau=50, n=50)\n" + t.String()
+}
+
+// RunTable2 reproduces Table 2: for each of the paper's nine
+// (dataset, classifier) configurations, it builds a simulated
+// classifier realizing the published accuracy/precision, feeds its
+// predicted-female set to Classifier-Coverage, and compares the task
+// count against standalone Group-Coverage. Averaged over trials.
+func RunTable2(seed int64, trials int) (*Table2Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	const tau, setSize = 50, 50
+	res := &Table2Result{}
+	for ri, row := range classifier.Table2Rows() {
+		sim, err := row.Build()
+		if err != nil {
+			return nil, err
+		}
+		var ccHITs, gcHITs []float64
+		var strategy core.Strategy
+		var realized classifier.Confusion
+		covered := false
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(seed + int64(100*ri+trial)))
+			d := row.Dataset.Generate(rng)
+			g := dataset.Female(d.Schema())
+			predicted, err := sim.Predict(d, g, rng)
+			if err != nil {
+				return nil, err
+			}
+			realized, err = classifier.Evaluate(d, g, predicted)
+			if err != nil {
+				return nil, err
+			}
+
+			o := core.NewTruthOracle(d)
+			cc, err := core.ClassifierCoverage(o, d.IDs(), predicted, setSize, tau, g,
+				core.ClassifierOptions{Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			ccHITs = append(ccHITs, float64(cc.Tasks))
+			strategy = cc.Strategy
+			covered = cc.Covered
+
+			o2 := core.NewTruthOracle(d)
+			gc, err := core.GroupCoverage(o2, d.IDs(), setSize, tau, g)
+			if err != nil {
+				return nil, err
+			}
+			gcHITs = append(gcHITs, float64(gc.Tasks))
+		}
+		res.Rows = append(res.Rows, Table2ResultRow{
+			Dataset:                row.Dataset.Name,
+			Classifier:             row.Classifier,
+			Accuracy:               realized.Accuracy(),
+			Precision:              realized.Precision(),
+			Strategy:               string(strategy),
+			ClassifierCoverageHITs: stats.Summarize(ccHITs).Mean,
+			GroupCoverageHITs:      stats.Summarize(gcHITs).Mean,
+			Covered:                covered,
+		})
+	}
+	return res, nil
+}

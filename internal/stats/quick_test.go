@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	// Properties: min <= median <= max, min <= mean <= max, std >= 0.
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		const eps = 1e-6
+		return s.Min <= s.Median+eps && s.Median <= s.Max+eps &&
+			s.Min <= s.Mean+eps && s.Mean <= s.Max+eps && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSummaryShiftInvariance(t *testing.T) {
+	// Property: adding a constant shifts mean/min/max/median by it and
+	// leaves the standard deviation unchanged.
+	f := func(xs []float64, shiftRaw int8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		a, b := Summarize(xs), Summarize(shifted)
+		const eps = 1e-6
+		return math.Abs(a.Mean+shift-b.Mean) < eps &&
+			math.Abs(a.Min+shift-b.Min) < eps &&
+			math.Abs(a.Max+shift-b.Max) < eps &&
+			math.Abs(a.Std-b.Std) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

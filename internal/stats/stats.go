@@ -1,0 +1,88 @@
+// Package stats provides the small statistical and reporting toolkit
+// the experiment harness uses: summaries of repeated trials, and
+// plain-text / CSV table rendering for regenerating the paper's tables
+// and figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary; the zero Summary is returned for an
+// empty sample. Std is the sample standard deviation (n-1 denominator,
+// zero for singletons).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f med=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Repeat runs trial(i) for i in [0, trials) and summarizes the
+// returned observations. Errors abort the run.
+func Repeat(trials int, trial func(i int) (float64, error)) (Summary, error) {
+	xs := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		x, err := trial(i)
+		if err != nil {
+			return Summary{}, err
+		}
+		xs = append(xs, x)
+	}
+	return Summarize(xs), nil
+}
+
+// MeanInts averages an integer sample.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %f", s.Std)
+	}
+	even := Summarize([]float64{4, 1, 3, 2})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %f", even.Median)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Errorf("singleton = %+v", single)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize must not sort the caller's slice")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s, err := Repeat(4, func(i int) (float64, error) { return float64(i), nil })
+	if err != nil || s.N != 4 || s.Mean != 1.5 {
+		t.Errorf("repeat = %+v, %v", s, err)
+	}
+	wantErr := errors.New("boom")
+	_, err = Repeat(3, func(i int) (float64, error) {
+		if i == 1 {
+			return 0, wantErr
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMeanInts(t *testing.T) {
+	if MeanInts(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if MeanInts([]int{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "tasks", "ratio")
+	tb.AddRow("group-coverage", 74, 1.0)
+	tb.AddRow("base-coverage", 342, 4.62)
+	if tb.NumRows() != 2 {
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "group-coverage") || !strings.Contains(out, "342") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want header+rule+2 rows", len(lines))
+	}
+	// Float trimming: 1.0 -> "1", 4.62 stays.
+	if !strings.Contains(out, "4.62") {
+		t.Error("float cell lost precision")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", 1)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\nx,1\n" {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:   "1",
+		4.62:  "4.62",
+		0.5:   "0.5",
+		-2.25: "-2.25",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -120,13 +120,23 @@ func GenerateBinary(n, minority int, seed int64) (*Dataset, error) {
 	return dataset.BinaryWithMinority(n, minority, rand.New(rand.NewSource(seed)))
 }
 
+// DatasetFromCounts creates a shuffled dataset with exactly counts[i]
+// objects of the i-th fully-specified subgroup, seeded
+// deterministically.
+func DatasetFromCounts(s *Schema, counts []int, seed int64) (*Dataset, error) {
+	return dataset.FromCounts(s, counts, rand.New(rand.NewSource(seed)))
+}
+
 // Auditor runs coverage audits with fixed parameters against an
 // oracle. The zero value is not usable; construct with NewAuditor.
 type Auditor struct {
-	oracle  Oracle
-	tau     int
-	setSize int
-	seed    int64
+	oracle      Oracle
+	tau         int
+	setSize     int
+	seed        int64
+	parallelism int
+	retry       core.RetryPolicy
+	cache       *core.CachingOracle
 }
 
 // NewAuditor builds an auditor asking the oracle set queries of at
@@ -142,6 +152,58 @@ func (a *Auditor) WithSeed(seed int64) *Auditor {
 	return a
 }
 
+// WithParallelism enables the concurrent audit engine: multi-group
+// audits schedule independent super-group audits (and covered-penalty
+// re-audits) across a worker pool of at most parallelism goroutines,
+// and sampling HITs post as one batched round. Values <= 1 keep the
+// sequential engine. The oracle must be safe for concurrent use; with
+// an order-independent oracle (TruthOracle, a stateless crowd bridge)
+// verdicts and task counts match the sequential engine exactly.
+func (a *Auditor) WithParallelism(parallelism int) *Auditor {
+	a.parallelism = parallelism
+	return a
+}
+
+// WithCache interposes a deduplicating query cache between the
+// auditor and the oracle: identical HITs (canonicalized id-set plus
+// group for set queries, object id for point queries) are paid for
+// once across every subsequent audit through this auditor. Transient
+// errors are never cached.
+func (a *Auditor) WithCache() *Auditor {
+	if a.cache == nil {
+		a.cache = core.NewCachingOracle(a.oracle)
+		a.oracle = a.cache
+	}
+	return a
+}
+
+// WithRetry re-posts transiently failing HITs (core.ErrTransient) up
+// to the policy's attempt budget instead of aborting multi-group
+// audits.
+func (a *Auditor) WithRetry(policy RetryPolicy) *Auditor {
+	a.retry = policy
+	return a
+}
+
+// CacheStats returns the hit/miss tally of the query cache; ok is
+// false when WithCache was never enabled.
+func (a *Auditor) CacheStats() (stats CacheStats, ok bool) {
+	if a.cache == nil {
+		return CacheStats{}, false
+	}
+	return a.cache.Stats(), true
+}
+
+// multipleOptions assembles the engine options shared by the
+// multi-group audit entry points.
+func (a *Auditor) multipleOptions() core.MultipleOptions {
+	return core.MultipleOptions{
+		Rng:         rand.New(rand.NewSource(a.seed)),
+		Parallelism: a.parallelism,
+		Retry:       a.retry,
+	}
+}
+
 // AuditGroup decides whether one group is covered (Algorithm 1).
 func (a *Auditor) AuditGroup(ids []ObjectID, g Group) (GroupResult, error) {
 	return core.GroupCoverage(a.oracle, ids, a.setSize, a.tau, g)
@@ -154,10 +216,10 @@ func (a *Auditor) AuditBaseline(ids []ObjectID, g Group) (GroupResult, error) {
 }
 
 // AuditGroups decides coverage for several groups with the
-// super-group aggregation heuristic (Algorithm 2).
+// super-group aggregation heuristic (Algorithm 2), on the concurrent
+// engine when WithParallelism is set.
 func (a *Auditor) AuditGroups(ids []ObjectID, groups []Group) (*MultipleResult, error) {
-	return core.MultipleCoverage(a.oracle, ids, a.setSize, a.tau, groups,
-		core.MultipleOptions{Rng: rand.New(rand.NewSource(a.seed))})
+	return core.MultipleCoverage(a.oracle, ids, a.setSize, a.tau, groups, a.multipleOptions())
 }
 
 // AuditAttribute audits every value of one schema attribute.
@@ -171,8 +233,7 @@ func (a *Auditor) AuditAttribute(ids []ObjectID, s *Schema, attr int) (*Multiple
 // AuditIntersectional discovers the maximal uncovered patterns over
 // all attributes of the schema (Algorithm 3).
 func (a *Auditor) AuditIntersectional(ids []ObjectID, s *Schema) (*IntersectionalResult, error) {
-	return core.IntersectionalCoverage(a.oracle, ids, a.setSize, a.tau, s,
-		core.MultipleOptions{Rng: rand.New(rand.NewSource(a.seed))})
+	return core.IntersectionalCoverage(a.oracle, ids, a.setSize, a.tau, s, a.multipleOptions())
 }
 
 // AuditWithClassifier audits one group using a pre-trained
@@ -237,6 +298,18 @@ func (c *SimulatedCrowd) ReverseSetQuery(ids []ObjectID, g Group) (bool, error) 
 // PointQuery implements Oracle.
 func (c *SimulatedCrowd) PointQuery(id ObjectID) ([]int, error) {
 	return c.platform.PointQuery(id)
+}
+
+// SetQueryBatch implements BatchOracle: the whole round posts under
+// one platform lock and answers in request order, keeping
+// identically-seeded parallel audits reproducible.
+func (c *SimulatedCrowd) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
+	return c.platform.SetQueryBatch(reqs)
+}
+
+// PointQueryBatch implements BatchOracle; see SetQueryBatch.
+func (c *SimulatedCrowd) PointQueryBatch(ids []ObjectID) ([][]int, error) {
+	return c.platform.PointQueryBatch(ids)
 }
 
 // Cost returns the deployment's accumulated cost.

@@ -1,0 +1,156 @@
+package imagecvg
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestAuditorParallelismMatchesSequential: the public options surface
+// the engine equivalence guarantee — same seed, same verdicts, same
+// task counts, at any parallelism.
+func TestAuditorParallelismMatchesSequential(t *testing.T) {
+	ds, err := GenerateBinary(3_000, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupsForAttribute(ds.Schema(), 0)
+	seq, err := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(4).AuditGroups(ds.IDs(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(4).WithParallelism(8).AuditGroups(ds.IDs(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("WithParallelism(8) diverged from the sequential engine")
+	}
+}
+
+// TestAuditorCacheDeduplicatesRepeatAudits: re-auditing the same group
+// through a cached auditor costs zero new HITs.
+func TestAuditorCacheDeduplicatesRepeatAudits(t *testing.T) {
+	ds, err := GenerateBinary(1_000, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewTruthOracle(ds)
+	auditor := NewAuditor(inner, 50, 50).WithCache()
+	g := FemaleGroup(ds.Schema())
+
+	first, err := auditor.AuditGroup(ds.IDs(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paid := inner.Tasks().Total()
+	second, err := auditor.AuditGroup(ds.IDs(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached re-audit changed the verdict")
+	}
+	if got := inner.Tasks().Total(); got != paid {
+		t.Errorf("re-audit paid %d new HITs, want 0", got-paid)
+	}
+	stats, ok := auditor.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats should be available after WithCache")
+	}
+	if stats.Hits.Total() == 0 || stats.Misses.Total() != paid {
+		t.Errorf("stats = %+v, want %d misses and nonzero hits", stats, paid)
+	}
+
+	// Without the cache there are no stats.
+	if _, ok := NewAuditor(inner, 50, 50).CacheStats(); ok {
+		t.Error("CacheStats without WithCache should report ok=false")
+	}
+}
+
+// flakyAPIOracle fails every third query with the transient error.
+type flakyAPIOracle struct {
+	inner Oracle
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flakyAPIOracle) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls%3 == 0 {
+		return ErrTransient
+	}
+	return nil
+}
+func (f *flakyAPIOracle) SetQuery(ids []ObjectID, g Group) (bool, error) {
+	if err := f.tick(); err != nil {
+		return false, err
+	}
+	return f.inner.SetQuery(ids, g)
+}
+func (f *flakyAPIOracle) ReverseSetQuery(ids []ObjectID, g Group) (bool, error) {
+	if err := f.tick(); err != nil {
+		return false, err
+	}
+	return f.inner.ReverseSetQuery(ids, g)
+}
+func (f *flakyAPIOracle) PointQuery(id ObjectID) ([]int, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.PointQuery(id)
+}
+
+func TestAuditorWithRetryAbsorbsTransientFailures(t *testing.T) {
+	ds, err := GenerateBinary(500, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupsForAttribute(ds.Schema(), 0)
+	flaky := &flakyAPIOracle{inner: NewTruthOracle(ds)}
+
+	if _, err := NewAuditor(flaky, 30, 20).WithSeed(5).AuditGroups(ds.IDs(), groups); !errors.Is(err, ErrTransient) {
+		t.Fatalf("without retry: err = %v, want transient", err)
+	}
+	res, err := NewAuditor(flaky, 30, 20).WithSeed(5).WithParallelism(4).
+		WithRetry(RetryPolicy{MaxAttempts: 3}).AuditGroups(ds.IDs(), groups)
+	if err != nil {
+		t.Fatalf("with retry: %v", err)
+	}
+	if res.Results[1].Covered { // gender value 1 = female
+		t.Error("10 females < tau 30 should be uncovered")
+	}
+}
+
+// TestSimulatedCrowdIsBatchOracle: the public crowd facade posts whole
+// rounds natively.
+func TestSimulatedCrowdIsBatchOracle(t *testing.T) {
+	ds, err := GenerateBinary(200, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := NewSimulatedCrowd(ds, 13, CrowdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bo BatchOracle = crowd // compile-time: facade is a BatchOracle
+	g := FemaleGroup(ds.Schema())
+	answers, err := bo.SetQueryBatch([]SetRequest{
+		{IDs: ds.IDs()[:10], Group: g},
+		{IDs: ds.IDs()[10:20], Group: g, Reverse: true},
+	})
+	if err != nil || len(answers) != 2 {
+		t.Fatalf("batch: %v %v", answers, err)
+	}
+	labels, err := bo.PointQueryBatch(ds.IDs()[:5])
+	if err != nil || len(labels) != 5 {
+		t.Fatalf("point batch: %v %v", labels, err)
+	}
+	if got := crowd.Cost().TotalHITs; got != 7 {
+		t.Errorf("ledger HITs = %d, want 7", got)
+	}
+}

@@ -13,6 +13,7 @@ package imagecvg
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -142,6 +143,45 @@ func BenchmarkGroupCoverage100K(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchmarkMultipleCoverage measures one Multiple-Coverage audit of
+// four groups (three rare minorities) at N=10K through the given
+// engine parallelism — the Figure 7e workload whose wall-clock the
+// concurrent engine targets.
+func benchmarkMultipleCoverage(b *testing.B, parallelism int) {
+	schema, err := NewSchema(
+		Attribute{Name: "group", Values: []string{"g0", "g1", "g2", "g3"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{9976, 10, 8, 6}
+	ds, err := DatasetFromCounts(schema, counts, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := GroupsForAttribute(schema, 0)
+	ids := ds.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auditor := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(benchSeed).WithParallelism(parallelism)
+		if _, err := auditor.AuditGroups(ids, groups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultipleCoverageSequential is the engine baseline
+// (Parallelism 1: the paper's sequential Algorithm 2).
+func BenchmarkMultipleCoverageSequential(b *testing.B) { benchmarkMultipleCoverage(b, 1) }
+
+// BenchmarkMultipleCoverageParallel runs the same audit across a
+// NumCPU-wide worker pool; identical verdicts and task counts, lower
+// wall-clock once oracle calls carry real latency.
+func BenchmarkMultipleCoverageParallel(b *testing.B) {
+	benchmarkMultipleCoverage(b, runtime.NumCPU())
 }
 
 // BenchmarkSimulatedCrowdSetQuery measures one 50-image set query

@@ -7,9 +7,11 @@
 //	cvgbench -list
 //	cvgbench -exp table1 -seed 42 -trials 5
 //	cvgbench -exp all
+//	cvgbench -exp all -json BENCH_core.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,27 @@ import (
 	"imagecvg/internal/sim"
 )
 
+// benchRecord is one experiment's machine-readable result, for
+// tracking the performance trajectory across commits.
+type benchRecord struct {
+	ID     string `json:"id"`
+	Paper  string `json:"paper"`
+	Seed   int64  `json:"seed"`
+	Trials int    `json:"trials"`
+	// NsPerOp is wall-clock per trial, so records stay comparable
+	// across runs with different -trials settings.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Seconds is the experiment's total wall-clock.
+	Seconds float64 `json:"seconds"`
+	// HITTasks is the experiment's crowd-task total when the result
+	// reports one (the paper's single cost metric).
+	HITTasks float64 `json:"hit_tasks,omitempty"`
+}
+
+// taskTotaler is implemented by results that can report their total
+// crowd cost (e.g. the multi-group figures).
+type taskTotaler interface{ TotalTasks() float64 }
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -27,10 +50,11 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("cvgbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (see -list) or 'all'")
-		seed   = fs.Int64("seed", 42, "base random seed")
-		trials = fs.Int("trials", 3, "repetitions averaged per configuration")
-		list   = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed     = fs.Int64("seed", 42, "base random seed")
+		trials   = fs.Int("trials", 3, "repetitions averaged per configuration")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		jsonPath = fs.String("json", "", "write benchmark records (ns/op, HIT counts) as JSON, e.g. BENCH_core.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,14 +68,28 @@ func run(args []string, out, errOut io.Writer) int {
 		return 0
 	}
 
+	var records []benchRecord
 	runOne := func(e sim.Experiment) error {
 		start := time.Now()
 		res, err := e.Run(*seed, *trials)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Fprintf(out, "=== %s (%s) — %s [%.1fs]\n%s\n",
-			e.ID, e.Paper, e.Description, time.Since(start).Seconds(), res)
+			e.ID, e.Paper, e.Description, elapsed.Seconds(), res)
+		perOp := *trials
+		if perOp < 1 {
+			perOp = 1 // experiments treat non-positive trial counts as 1
+		}
+		rec := benchRecord{
+			ID: e.ID, Paper: e.Paper, Seed: *seed, Trials: *trials,
+			NsPerOp: elapsed.Nanoseconds() / int64(perOp), Seconds: elapsed.Seconds(),
+		}
+		if tt, ok := res.(taskTotaler); ok {
+			rec.HITTasks = tt.TotalTasks()
+		}
+		records = append(records, rec)
 		return nil
 	}
 
@@ -62,16 +100,29 @@ func run(args []string, out, errOut io.Writer) int {
 				return 1
 			}
 		}
-		return 0
+	} else {
+		e, ok := sim.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(errOut, "cvgbench: unknown experiment %q (use -list)\n", *exp)
+			return 2
+		}
+		if err := runOne(e); err != nil {
+			fmt.Fprintln(errOut, "cvgbench:", err)
+			return 1
+		}
 	}
-	e, ok := sim.Lookup(*exp)
-	if !ok {
-		fmt.Fprintf(errOut, "cvgbench: unknown experiment %q (use -list)\n", *exp)
-		return 2
-	}
-	if err := runOne(e); err != nil {
-		fmt.Fprintln(errOut, "cvgbench:", err)
-		return 1
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(errOut, "cvgbench:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %d benchmark records to %s\n", len(records), *jsonPath)
 	}
 	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -28,6 +30,42 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Figure 7e") {
 		t.Errorf("output missing artifact name")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := t.TempDir() + "/BENCH_core.json"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []struct {
+		ID       string  `json:"id"`
+		NsPerOp  int64   `json:"ns_per_op"`
+		HITTasks float64 `json:"hit_tasks"`
+	}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(records) != 1 || records[0].ID != "figure7e" {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].NsPerOp <= 0 {
+		t.Error("ns_per_op must be positive")
+	}
+	if records[0].HITTasks <= 0 {
+		t.Error("figure7e should report its HIT total")
+	}
+}
+
+func TestJSONOutputBadPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7e", "-trials", "1", "-json", "/no/such/dir/b.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
 	}
 }
 

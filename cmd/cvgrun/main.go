@@ -36,6 +36,8 @@ func run(args []string, out, errOut io.Writer) int {
 		n        = fs.Int("n", 50, "set-query size upper bound")
 		seed     = fs.Int64("seed", 1, "random seed")
 		useCrowd = fs.Bool("crowd", false, "audit through the simulated crowd instead of ground truth")
+		par      = fs.Int("parallelism", 1, "worker pool size of the concurrent audit engine (<=1 sequential)")
+		cache    = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,7 +65,10 @@ func run(args []string, out, errOut io.Writer) int {
 	} else {
 		oracle = imagecvg.NewTruthOracle(ds)
 	}
-	auditor := imagecvg.NewAuditor(oracle, *tau, *n).WithSeed(*seed)
+	auditor := imagecvg.NewAuditor(oracle, *tau, *n).WithSeed(*seed).WithParallelism(*par)
+	if *cache {
+		auditor = auditor.WithCache()
+	}
 
 	switch *mode {
 	case "group", "base":
@@ -141,6 +146,10 @@ func run(args []string, out, errOut io.Writer) int {
 
 	if crowdOracle != nil {
 		fmt.Fprintln(out, "crowd cost:", crowdOracle.Cost())
+	}
+	if stats, ok := auditor.CacheStats(); ok {
+		fmt.Fprintf(out, "cache: %d hits / %d misses (%.0f%% saved)\n",
+			stats.Hits.Total(), stats.Misses.Total(), 100*stats.HitRate())
 	}
 	return 0
 }

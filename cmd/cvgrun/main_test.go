@@ -83,6 +83,31 @@ func TestRepairMode(t *testing.T) {
 	}
 }
 
+func TestParallelCachedAttributeMode(t *testing.T) {
+	path := writeDataset(t, 400, 60)
+	var seqOut, parOut, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "attribute", "-tau", "30"}, &seqOut, &errOut)
+	if code != 0 {
+		t.Fatalf("sequential exit = %d, stderr: %s", code, errOut.String())
+	}
+	code = run([]string{"-data", path, "-mode", "attribute", "-tau", "30", "-parallelism", "8", "-cache"}, &parOut, &errOut)
+	if code != 0 {
+		t.Fatalf("parallel exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(parOut.String(), "cache: ") {
+		t.Errorf("cache stats missing:\n%s", parOut.String())
+	}
+	// Same ground-truth oracle and seed: the verdict lines must agree
+	// between the sequential and the concurrent engine.
+	seqLines := strings.Split(seqOut.String(), "\n")
+	parLines := strings.Split(parOut.String(), "\n")
+	for i := range seqLines {
+		if strings.Contains(seqLines[i], "covered") && seqLines[i] != parLines[i] {
+			t.Errorf("line %d diverged:\n%s\nvs\n%s", i, seqLines[i], parLines[i])
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	path := writeDataset(t, 50, 5)
 	cases := []struct {

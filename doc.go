@@ -30,6 +30,27 @@
 // audit through imperfect, redundantly-assigned, majority-voted
 // workers with full cost accounting.
 //
+// # Concurrent audit engine
+//
+// Real deployments post whole rounds of HITs concurrently, so the
+// auditor ships a concurrent engine alongside the paper's sequential
+// algorithms. Three composable pieces drive it:
+//
+//   - BatchOracle extends Oracle with SetQueryBatch/PointQueryBatch so
+//     one call posts an entire round; TruthOracle and the simulated
+//     crowd implement it natively, and AsBatchOracle lifts any plain
+//     Oracle through a bounded worker pool.
+//   - Auditor.WithParallelism schedules independent super-group audits
+//     (and the covered-penalty re-audits) of Multiple-Coverage across
+//     a bounded worker pool, with per-audit child RNGs split
+//     deterministically from the seed. With an order-independent
+//     oracle the verdicts and task counts are identical to the
+//     sequential engine at every parallelism level.
+//   - Auditor.WithCache interposes a deduplicating query cache keyed
+//     on the canonicalized id-set and group, so a HIT already paid for
+//     is never posted twice; transient errors are never cached, and
+//     Auditor.WithRetry re-posts them instead of aborting.
+//
 // The exported API is a thin façade; the implementation lives in
 // internal packages (core, pattern, dataset, crowd, classifier, ml,
 // sim) whose relevant types are re-exported here by alias.

@@ -28,14 +28,36 @@ type (
 	QueryRecord = core.QueryRecord
 	// ExecutionTrace records a Group-Coverage execution tree.
 	ExecutionTrace = core.ExecutionTrace
+
+	// BatchOracle extends Oracle with whole-round execution; implement
+	// it to post a round of HITs to a platform in one request.
+	BatchOracle = core.BatchOracle
+	// SetRequest is one set/reverse-set query of a batch round.
+	SetRequest = core.SetRequest
+	// CachingOracle deduplicates identical queries against an oracle.
+	CachingOracle = core.CachingOracle
+	// CacheStats tallies cache hits and misses per HIT type.
+	CacheStats = core.CacheStats
+	// RetryPolicy re-posts transiently failing HITs.
+	RetryPolicy = core.RetryPolicy
 )
 
-// Re-exported transcript constructors.
+// Re-exported transcript and engine constructors.
 var (
 	// NewRecordingOracle wraps any oracle with transcript recording.
 	NewRecordingOracle = core.NewRecordingOracle
 	// NewReplayOracle replays a recorded transcript.
 	NewReplayOracle = core.NewReplayOracle
+	// NewCachingOracle wraps any oracle with the deduplicating cache.
+	NewCachingOracle = core.NewCachingOracle
+	// NewBatchAdapter lifts a plain Oracle into batched execution over
+	// a bounded worker pool.
+	NewBatchAdapter = core.NewBatchAdapter
+	// AsBatchOracle returns the oracle's native batch implementation
+	// or lifts it with NewBatchAdapter.
+	AsBatchOracle = core.AsBatchOracle
+	// ErrTransient marks retryable crowd failures.
+	ErrTransient = core.ErrTransient
 )
 
 // NewRepairPlan computes the acquisitions that bring every pattern of

@@ -1,0 +1,3 @@
+module imagecvg
+
+go 1.24

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// CacheStats tallies the CachingOracle's effectiveness per HIT type.
+type CacheStats struct {
+	// Hits are queries answered from the cache (zero crowd cost).
+	Hits TaskCounts
+	// Misses are queries forwarded to the inner oracle.
+	Misses TaskCounts
+}
+
+// HitRate returns the fraction of queries served from the cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits.Total() + s.Misses.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits.Total()) / float64(total)
+}
+
+// CachingOracle deduplicates identical queries against the inner
+// oracle: a HIT already paid for is never posted again. Set and
+// reverse-set queries are keyed on the canonicalized id-set (sorted,
+// order-insensitive) plus the group's member patterns, point queries
+// on the object id. Errors are never cached — a transient crowd
+// failure leaves the key unanswered, so the next attempt pays (and
+// retries) the real HIT.
+//
+// Concurrent identical queries are collapsed in flight: the first
+// caller posts the HIT while the others wait for its answer, so a
+// parallel audit round never double-pays for duplicates either. Safe
+// for concurrent use when the inner oracle is.
+//
+// Caching deliberately changes task counts — that is the point — so
+// equivalence experiments comparing engine variants must run uncached.
+type CachingOracle struct {
+	inner Oracle
+
+	mu         sync.Mutex
+	answers    map[string]bool
+	labels     map[dataset.ObjectID][]int
+	inflight   map[string]*inflightCall
+	stats      CacheStats
+	batchWidth int
+}
+
+// inflightCall is a pending inner query other callers wait on.
+type inflightCall struct {
+	done   chan struct{}
+	answer bool
+	labels []int
+	err    error
+}
+
+// NewCachingOracle wraps an oracle with the deduplicating cache.
+func NewCachingOracle(inner Oracle) *CachingOracle {
+	return &CachingOracle{
+		inner:      inner,
+		answers:    make(map[string]bool),
+		labels:     make(map[dataset.ObjectID][]int),
+		inflight:   make(map[string]*inflightCall),
+		batchWidth: 1,
+	}
+}
+
+// WithBatchParallelism widens the worker pool used to forward a
+// round's distinct misses when the inner oracle has no native
+// batching (it never narrows). AsBatchOracle propagates the caller's
+// width here automatically, so a cached oracle inside a batched audit
+// keeps the audit's parallelism instead of serializing every round.
+func (c *CachingOracle) WithBatchParallelism(parallelism int) *CachingOracle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if parallelism > c.batchWidth {
+		c.batchWidth = parallelism
+	}
+	return c
+}
+
+// width returns the current miss-forwarding pool width.
+func (c *CachingOracle) width() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchWidth
+}
+
+// Stats returns the hit/miss tally so far.
+func (c *CachingOracle) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of distinct cached answers.
+func (c *CachingOracle) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.answers) + len(c.labels)
+}
+
+// setKey canonicalizes one set/reverse-set query: the id multiset is
+// sorted (the crowd question is order-insensitive) and the group is
+// identified by its sorted member pattern keys, so renamed or
+// reordered super-groups with the same members share a key.
+func setKey(ids []dataset.ObjectID, g pattern.Group, reverse bool) string {
+	sorted := make([]int, len(ids))
+	for i, id := range ids {
+		sorted[i] = int(id)
+	}
+	sort.Ints(sorted)
+	members := make([]string, len(g.Members))
+	for i, p := range g.Members {
+		members[i] = p.Key()
+	}
+	sort.Strings(members)
+
+	var b strings.Builder
+	if reverse {
+		b.WriteString("r|")
+	} else {
+		b.WriteString("s|")
+	}
+	b.WriteString(strings.Join(members, ","))
+	b.WriteByte('|')
+	for i, id := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// lookupSet returns a cached answer, or registers the caller as the
+// key's in-flight owner (call == nil means owner), or hands back an
+// existing in-flight call to wait on.
+func (c *CachingOracle) lookupSet(key string, reverse bool) (ans bool, hit bool, wait *inflightCall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ans, ok := c.answers[key]; ok {
+		c.countSet(&c.stats.Hits, reverse)
+		return ans, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.countSet(&c.stats.Hits, reverse)
+		return false, false, call
+	}
+	c.countSet(&c.stats.Misses, reverse)
+	c.inflight[key] = &inflightCall{done: make(chan struct{})}
+	return false, false, nil
+}
+
+func (c *CachingOracle) countSet(t *TaskCounts, reverse bool) {
+	if reverse {
+		t.ReverseSet++
+	} else {
+		t.Set++
+	}
+}
+
+// settleSet publishes the inner oracle's outcome for an in-flight key:
+// successful answers enter the cache, errors only release the waiters.
+func (c *CachingOracle) settleSet(key string, ans bool, err error) {
+	c.mu.Lock()
+	call := c.inflight[key]
+	delete(c.inflight, key)
+	if err == nil {
+		c.answers[key] = ans
+	}
+	c.mu.Unlock()
+	if call != nil {
+		call.answer, call.err = ans, err
+		close(call.done)
+	}
+}
+
+func (c *CachingOracle) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse bool) (bool, error) {
+	key := setKey(ids, g, reverse)
+	ans, hit, wait := c.lookupSet(key, reverse)
+	if hit {
+		return ans, nil
+	}
+	if wait != nil {
+		<-wait.done
+		return wait.answer, wait.err
+	}
+	var err error
+	if reverse {
+		ans, err = c.inner.ReverseSetQuery(ids, g)
+	} else {
+		ans, err = c.inner.SetQuery(ids, g)
+	}
+	c.settleSet(key, ans, err)
+	return ans, err
+}
+
+// SetQuery implements Oracle.
+func (c *CachingOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return c.setQuery(ids, g, false)
+}
+
+// ReverseSetQuery implements Oracle.
+func (c *CachingOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return c.setQuery(ids, g, true)
+}
+
+// pointKey is the in-flight key of one point query.
+func pointKey(id dataset.ObjectID) string { return "p|" + strconv.Itoa(int(id)) }
+
+// settlePoint publishes the inner oracle's outcome for an in-flight
+// point query; successful labels enter the cache, errors only release
+// the waiters.
+func (c *CachingOracle) settlePoint(id dataset.ObjectID, labels []int, err error) {
+	c.mu.Lock()
+	key := pointKey(id)
+	call := c.inflight[key]
+	delete(c.inflight, key)
+	if err == nil {
+		c.labels[id] = cloneLabels(labels)
+	}
+	c.mu.Unlock()
+	if call != nil {
+		call.labels, call.err = labels, err
+		close(call.done)
+	}
+}
+
+// PointQuery implements Oracle.
+func (c *CachingOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	c.mu.Lock()
+	if labels, ok := c.labels[id]; ok {
+		c.stats.Hits.Point++
+		c.mu.Unlock()
+		return cloneLabels(labels), nil
+	}
+	if call, ok := c.inflight[pointKey(id)]; ok {
+		c.stats.Hits.Point++
+		c.mu.Unlock()
+		<-call.done
+		return cloneLabels(call.labels), call.err
+	}
+	c.stats.Misses.Point++
+	c.inflight[pointKey(id)] = &inflightCall{done: make(chan struct{})}
+	c.mu.Unlock()
+
+	labels, err := c.inner.PointQuery(id)
+	c.settlePoint(id, labels, err)
+	return labels, err
+}
+
+// cloneLabels copies a label vector; nil stays nil.
+func cloneLabels(labels []int) []int {
+	if labels == nil {
+		return nil
+	}
+	out := make([]int, len(labels))
+	copy(out, labels)
+	return out
+}
+
+// SetQueryBatch implements BatchOracle: duplicates inside the round
+// collapse onto one inner request, cached keys are answered for free,
+// keys another caller is already posting are waited on instead of
+// re-posted, and only the distinct misses this round owns reach the
+// inner oracle — natively batched when it implements BatchOracle
+// itself, otherwise across the propagated worker-pool width.
+func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
+	answers := make([]bool, len(reqs))
+	keys := make([]string, len(reqs))
+	var missReqs []SetRequest
+	var missKeys []string
+	owned := make(map[string]bool)
+	waits := make(map[string]*inflightCall)
+
+	c.mu.Lock()
+	for i, req := range reqs {
+		keys[i] = setKey(req.IDs, req.Group, req.Reverse)
+		key := keys[i]
+		if ans, ok := c.answers[key]; ok {
+			c.countSet(&c.stats.Hits, req.Reverse)
+			answers[i] = ans
+			continue
+		}
+		if owned[key] || waits[key] != nil {
+			c.countSet(&c.stats.Hits, req.Reverse)
+			continue
+		}
+		if call, ok := c.inflight[key]; ok {
+			// Another caller is posting this HIT right now.
+			c.countSet(&c.stats.Hits, req.Reverse)
+			waits[key] = call
+			continue
+		}
+		c.countSet(&c.stats.Misses, req.Reverse)
+		c.inflight[key] = &inflightCall{done: make(chan struct{})}
+		owned[key] = true
+		missReqs = append(missReqs, req)
+		missKeys = append(missKeys, key)
+	}
+	c.mu.Unlock()
+
+	var missAnswers []bool
+	var missErr error
+	if len(missReqs) > 0 {
+		missAnswers, missErr = AsBatchOracle(c.inner, c.width()).SetQueryBatch(missReqs)
+	}
+	for j, key := range missKeys {
+		var ans bool
+		if missErr == nil {
+			ans = missAnswers[j]
+		}
+		c.settleSet(key, ans, missErr)
+	}
+	if missErr != nil {
+		return nil, missErr
+	}
+	for _, call := range waits {
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range reqs {
+		if ans, ok := c.answers[keys[i]]; ok {
+			answers[i] = ans
+		}
+	}
+	return answers, nil
+}
+
+// PointQueryBatch implements BatchOracle; see SetQueryBatch.
+func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
+	labels := make([][]int, len(ids))
+	var missIDs []dataset.ObjectID
+	owned := make(map[dataset.ObjectID]bool)
+	waits := make(map[dataset.ObjectID]*inflightCall)
+
+	c.mu.Lock()
+	for _, id := range ids {
+		if _, ok := c.labels[id]; ok {
+			c.stats.Hits.Point++
+			continue
+		}
+		if owned[id] || waits[id] != nil {
+			c.stats.Hits.Point++
+			continue
+		}
+		if call, ok := c.inflight[pointKey(id)]; ok {
+			c.stats.Hits.Point++
+			waits[id] = call
+			continue
+		}
+		c.stats.Misses.Point++
+		c.inflight[pointKey(id)] = &inflightCall{done: make(chan struct{})}
+		owned[id] = true
+		missIDs = append(missIDs, id)
+	}
+	c.mu.Unlock()
+
+	var missLabels [][]int
+	var missErr error
+	if len(missIDs) > 0 {
+		missLabels, missErr = AsBatchOracle(c.inner, c.width()).PointQueryBatch(missIDs)
+	}
+	for j, id := range missIDs {
+		var l []int
+		if missErr == nil {
+			l = missLabels[j]
+		}
+		c.settlePoint(id, l, missErr)
+	}
+	if missErr != nil {
+		return nil, missErr
+	}
+	for _, call := range waits {
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, id := range ids {
+		labels[i] = cloneLabels(c.labels[id])
+	}
+	return labels, nil
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0})
+	inner := NewTruthOracle(d)
+	c := NewCachingOracle(inner)
+	g := female(d)
+	ids := d.IDs()
+
+	for i := 0; i < 3; i++ {
+		ans, err := c.SetQuery(ids, g)
+		if err != nil || !ans {
+			t.Fatalf("set query %d: %v %v", i, ans, err)
+		}
+	}
+	if _, err := c.PointQuery(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PointQuery(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if stats.Misses.Set != 1 || stats.Hits.Set != 2 {
+		t.Errorf("set: %d misses / %d hits, want 1/2", stats.Misses.Set, stats.Hits.Set)
+	}
+	if stats.Misses.Point != 1 || stats.Hits.Point != 1 {
+		t.Errorf("point: %d misses / %d hits, want 1/1", stats.Misses.Point, stats.Hits.Point)
+	}
+	if inner.Tasks().Total() != 2 {
+		t.Errorf("inner paid %d tasks, want 2", inner.Tasks().Total())
+	}
+	if got := stats.HitRate(); got != 0.6 {
+		t.Errorf("hit rate = %f, want 0.6", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheCanonicalizesIDOrder(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0, 1})
+	inner := NewTruthOracle(d)
+	c := NewCachingOracle(inner)
+	g := female(d)
+
+	fwd := []dataset.ObjectID{0, 1, 2, 3, 4}
+	rev := []dataset.ObjectID{4, 3, 2, 1, 0}
+	shuffled := []dataset.ObjectID{2, 0, 4, 1, 3}
+	a1, err := c.SetQuery(fwd, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ids := range [][]dataset.ObjectID{rev, shuffled} {
+		a2, err := c.SetQuery(ids, g)
+		if err != nil || a2 != a1 {
+			t.Fatalf("reordered ids: %v %v", a2, err)
+		}
+	}
+	if inner.Tasks().Set != 1 {
+		t.Errorf("reordered id-sets paid %d set HITs, want 1", inner.Tasks().Set)
+	}
+	// A different id multiset is a different HIT.
+	if _, err := c.SetQuery(fwd[:4], g); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Tasks().Set != 2 {
+		t.Errorf("distinct id-set should miss: inner set HITs = %d, want 2", inner.Tasks().Set)
+	}
+}
+
+func TestCacheKeysDistinguishKindAndGroup(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0})
+	inner := NewTruthOracle(d)
+	c := NewCachingOracle(inner)
+	ids := d.IDs()
+	fem := female(d)
+	male := dataset.Male(d.Schema())
+
+	if _, err := c.SetQuery(ids, fem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReverseSetQuery(ids, fem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetQuery(ids, male); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Tasks(); got.Set != 2 || got.ReverseSet != 1 {
+		t.Errorf("inner tasks = %v, want 2 set + 1 reverse", got)
+	}
+	// A super-group's member order must not matter.
+	s1 := pattern.SuperGroup(fem, male)
+	s2 := pattern.SuperGroup(male, fem)
+	if _, err := c.SetQuery(ids, s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetQuery(ids, s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Tasks().Set; got != 3 {
+		t.Errorf("super-group member order should share a key: set HITs = %d, want 3", got)
+	}
+}
+
+func TestCacheDoesNotCacheTransientErrors(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0})
+	inner := NewTruthOracle(d)
+	flaky := &FlakyOracle{Inner: inner, FailEvery: 1} // first call fails
+	c := NewCachingOracle(flaky)
+	g := female(d)
+	ids := d.IDs()
+
+	if _, err := c.SetQuery(ids, g); !errors.Is(err, ErrTransient) {
+		t.Fatalf("first call should fail transiently, got %v", err)
+	}
+	flaky.FailEvery = 0 // crowd recovers
+	ans, err := c.SetQuery(ids, g)
+	if err != nil || !ans {
+		t.Fatalf("after recovery: %v %v (the error must not be cached)", ans, err)
+	}
+	if inner.Tasks().Set != 1 {
+		t.Errorf("inner set HITs = %d, want 1 (only the successful retry)", inner.Tasks().Set)
+	}
+	stats := c.Stats()
+	if stats.Misses.Set != 2 || stats.Hits.Set != 0 {
+		t.Errorf("both attempts must miss: %+v", stats)
+	}
+
+	// Point queries behave the same way.
+	flaky.FailEvery = 1
+	if _, err := c.PointQuery(ids[0]); !errors.Is(err, ErrTransient) {
+		t.Fatalf("point query should fail transiently, got %v", err)
+	}
+	flaky.FailEvery = 0
+	if labels, err := c.PointQuery(ids[0]); err != nil || len(labels) != 1 {
+		t.Fatalf("after recovery: %v %v", labels, err)
+	}
+}
+
+func TestCacheBatchCollapsesDuplicates(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0})
+	inner := NewTruthOracle(d)
+	c := NewCachingOracle(inner)
+	g := female(d)
+	ids := d.IDs()
+
+	reqs := []SetRequest{
+		{IDs: ids, Group: g},
+		{IDs: []dataset.ObjectID{3, 2, 1, 0}, Group: g}, // same canonical key
+		{IDs: ids[:2], Group: g},
+		{IDs: ids, Group: g, Reverse: true},
+		{IDs: ids, Group: g}, // duplicate again
+	}
+	answers, err := c.SetQueryBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0] != answers[1] || answers[0] != answers[4] {
+		t.Error("duplicate requests must share one answer")
+	}
+	if got := inner.Tasks(); got.Set != 2 || got.ReverseSet != 1 {
+		t.Errorf("inner tasks = %v, want 2 set + 1 reverse (duplicates collapsed)", got)
+	}
+	stats := c.Stats()
+	if stats.Hits.Set != 2 || stats.Misses.Set != 2 || stats.Misses.ReverseSet != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	labels, err := c.PointQueryBatch([]dataset.ObjectID{1, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 || labels[0][0] != labels[1][0] || labels[0][0] != labels[3][0] {
+		t.Errorf("point batch labels = %v", labels)
+	}
+	if got := inner.Tasks().Point; got != 2 {
+		t.Errorf("inner point HITs = %d, want 2", got)
+	}
+}
+
+// blockingOracle parks every inner call until released, to prove
+// in-flight deduplication.
+type blockingOracle struct {
+	inner   Oracle
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.inner.SetQuery(ids, g)
+}
+func (b *blockingOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return b.inner.ReverseSetQuery(ids, g)
+}
+func (b *blockingOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	return b.inner.PointQuery(id)
+}
+
+func TestCacheCollapsesConcurrentIdenticalQueries(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1, 1, 0})
+	inner := NewTruthOracle(d)
+	blocking := &blockingOracle{
+		inner:   inner,
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	c := NewCachingOracle(blocking)
+	g := female(d)
+	ids := d.IDs()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	answers := make([]bool, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], errs[i] = c.SetQuery(ids, g)
+		}(i)
+	}
+	<-blocking.entered // one caller reached the oracle...
+	close(blocking.release)
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil || !answers[i] {
+			t.Fatalf("caller %d: %v %v", i, answers[i], errs[i])
+		}
+	}
+	if inner.Tasks().Set != 1 {
+		t.Errorf("inner set HITs = %d, want 1 (in-flight dedup)", inner.Tasks().Set)
+	}
+}
+
+func TestCacheConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	d, err := dataset.BinaryWithMinority(200, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewTruthOracle(d)
+	c := NewCachingOracle(inner)
+	g := female(d)
+	ids := d.IDs()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				lo := rng.Intn(len(ids) - 1)
+				hi := lo + 1 + rng.Intn(len(ids)-lo-1)
+				if _, err := c.SetQuery(ids[lo:hi], g); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.PointQuery(ids[rng.Intn(len(ids))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := c.Stats()
+	if got := stats.Hits.Total() + stats.Misses.Total(); got != 8*200*2 {
+		t.Errorf("accounted %d queries, want %d", got, 8*200*2)
+	}
+	if inner.Tasks().Total() != stats.Misses.Total() {
+		t.Errorf("inner paid %d, misses say %d", inner.Tasks().Total(), stats.Misses.Total())
+	}
+}
+
+func TestCachePointQueryReturnsCopies(t *testing.T) {
+	d := binaryDataset(t, []int{0, 1})
+	c := NewCachingOracle(NewTruthOracle(d))
+	labels, err := c.PointQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels[0] = 99
+	again, err := c.PointQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == 99 {
+		t.Error("cache handed out its internal label slice")
+	}
+}

@@ -10,21 +10,22 @@ import (
 	"imagecvg/internal/pattern"
 )
 
-// LabelSamples is the sampling phase of section 4 (Algorithm 6): it
-// draws up to k random objects, labels each with a point query, moves
-// them into the labeled set L, and returns the remaining ids (order
-// preserved). The paper uses k = c*tau with c = 2: enough point
-// queries to confirm majority groups outright while estimating the
-// frequencies of the minorities.
-func LabelSamples(o Oracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *rand.Rand) (remaining []dataset.ObjectID, tasks int, err error) {
-	if o == nil || l == nil {
-		return nil, 0, errors.New("core: nil oracle or labeled set")
+var errNilOracleOrSet = errors.New("core: nil oracle or labeled set")
+
+// chooseSamples is the selection step shared by LabelSamples and
+// LabelSamplesBatch: it draws up to k random indices and splits the
+// ids into the chosen sample and the remainder, both in input order.
+// Sharing the chooser (and its RNG consumption) is what keeps the
+// sequential and batched sampling phases bit-for-bit interchangeable.
+func chooseSamples(ids []dataset.ObjectID, k int, l *LabeledSet, rng *rand.Rand) (sample, remaining []dataset.ObjectID, err error) {
+	if l == nil {
+		return nil, nil, errNilOracleOrSet
 	}
 	if rng == nil {
-		return nil, 0, errors.New("core: LabelSamples needs a *rand.Rand")
+		return nil, nil, errors.New("core: sampling needs a *rand.Rand")
 	}
 	if k < 0 {
-		return nil, 0, fmt.Errorf("core: sample size %d", k)
+		return nil, nil, fmt.Errorf("core: sample size %d", k)
 	}
 	if k > len(ids) {
 		k = len(ids)
@@ -33,12 +34,33 @@ func LabelSamples(o Oracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *r
 	for _, idx := range rng.Perm(len(ids))[:k] {
 		chosen[idx] = true
 	}
+	sample = make([]dataset.ObjectID, 0, k)
 	remaining = make([]dataset.ObjectID, 0, len(ids)-k)
 	for i, id := range ids {
-		if !chosen[i] {
+		if chosen[i] {
+			sample = append(sample, id)
+		} else {
 			remaining = append(remaining, id)
-			continue
 		}
+	}
+	return sample, remaining, nil
+}
+
+// LabelSamples is the sampling phase of section 4 (Algorithm 6): it
+// draws up to k random objects, labels each with a point query, moves
+// them into the labeled set L, and returns the remaining ids (order
+// preserved). The paper uses k = c*tau with c = 2: enough point
+// queries to confirm majority groups outright while estimating the
+// frequencies of the minorities.
+func LabelSamples(o Oracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *rand.Rand) (remaining []dataset.ObjectID, tasks int, err error) {
+	if o == nil {
+		return nil, 0, errNilOracleOrSet
+	}
+	sample, remaining, err := chooseSamples(ids, k, l, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range sample {
 		labels, err := o.PointQuery(id)
 		if err != nil {
 			return nil, tasks, err
@@ -200,8 +222,23 @@ type MultipleOptions struct {
 	NoSampling bool
 	// Multi applies the same-parent aggregation rule (intersectional).
 	Multi bool
-	// Rng drives sampling; required.
+	// Rng drives sampling and seeds the per-audit child RNGs of the
+	// concurrent engine; required.
 	Rng *rand.Rand
+	// Parallelism bounds the worker pool of the concurrent engine:
+	// independent super-group audits (and the per-member re-audits of
+	// the covered-penalty branch) run across up to Parallelism
+	// goroutines, and the sampling phase is issued as one batched
+	// oracle round. Zero or one runs the sequential Algorithm 2
+	// verbatim. The oracle must be safe for concurrent use; with an
+	// order-independent oracle (TruthOracle, any stateless crowd
+	// bridge) verdicts and task counts are identical to the sequential
+	// engine for every Parallelism value.
+	Parallelism int
+	// Retry re-posts transiently failing HITs (ErrTransient) instead
+	// of aborting the audit; jitter is drawn from per-audit child RNGs
+	// split deterministically from Rng.
+	Retry RetryPolicy
 }
 
 // MultipleCoverage is Algorithm 2: coverage identification for several
@@ -227,6 +264,9 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	if c < 0 || n < 1 || tau < 0 {
 		return nil, fmt.Errorf("core: invalid parameters (c=%d n=%d tau=%d)", c, n, tau)
 	}
+	if opts.Parallelism > 1 {
+		return multipleCoverageParallel(o, ids, n, tau, c, groups, opts)
+	}
 
 	res := &MultipleResult{
 		Results: make([]MultipleGroupResult, len(groups)),
@@ -236,77 +276,116 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	if opts.NoSampling {
 		budget = 0
 	}
-	remaining, sampleTasks, err := LabelSamples(o, ids, budget, res.Labeled, opts.Rng)
+	seqOracle := withRetry(o, opts.Retry, opts.Rng)
+	remaining, sampleTasks, err := LabelSamples(seqOracle, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
 		return nil, err
 	}
 	res.RemainingIDs = remaining
 	res.SampleTasks = sampleTasks
 
-	supers := Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi)
-	for _, members := range supers {
-		audit := SuperAudit{GroupIndices: members}
+	plans := buildSuperPlans(res.Labeled, tau, groups, Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi))
+	for _, plan := range plans {
+		gc, err := GroupCoverage(seqOracle, remaining, n, plan.tauPrime, plan.union)
+		if err != nil {
+			return nil, err
+		}
+		subs := make([]GroupResult, 0, len(plan.members))
+		if len(plan.members) > 1 && gc.Covered {
+			// Penalty case: the super-group is covered, which says
+			// nothing about individual members (line 8-12).
+			for _, gi := range plan.members {
+				g := groups[gi]
+				sub, err := GroupCoverage(seqOracle, remaining, n, clampTau(tau-res.Labeled.Count(g)), g)
+				if err != nil {
+					return nil, err
+				}
+				subs = append(subs, sub)
+			}
+		}
+		settleSuper(res, plan, gc, subs, groups, len(ids))
+	}
+	res.Tasks = res.SampleTasks + res.AuditTasks
+	return res, nil
+}
 
+// superPlan precomputes one super-group audit: the member indices,
+// their union group, the members already found among the labeled
+// samples, and the residual threshold.
+type superPlan struct {
+	members    []int
+	union      pattern.Group
+	labeledSum int
+	tauPrime   int
+}
+
+// buildSuperPlans turns the aggregation output into audit plans. The
+// residual threshold clamps at zero: the samples may already satisfy
+// tau, making the audit trivially covered at zero tasks.
+func buildSuperPlans(l *LabeledSet, tau int, groups []pattern.Group, supers [][]int) []superPlan {
+	plans := make([]superPlan, len(supers))
+	for si, members := range supers {
 		labeledSum := 0
 		parts := make([]pattern.Group, len(members))
 		for i, gi := range members {
-			labeledSum += res.Labeled.Count(groups[gi])
+			labeledSum += l.Count(groups[gi])
 			parts[i] = groups[gi]
 		}
 		union := parts[0]
 		if len(parts) > 1 {
 			union = pattern.SuperGroup(parts...)
 		}
-		// Samples may already satisfy the threshold; a non-positive
-		// residual threshold is trivially covered (zero tasks).
-		tauPrime := clampTau(tau - labeledSum)
-		gc, err := GroupCoverage(o, remaining, n, tauPrime, union)
-		if err != nil {
-			return nil, err
+		plans[si] = superPlan{
+			members:    members,
+			union:      union,
+			labeledSum: labeledSum,
+			tauPrime:   clampTau(tau - labeledSum),
 		}
-		audit.Tasks += gc.Tasks
-		audit.Covered = gc.Covered
-		audit.RemainingCount = gc.Count
-		audit.TotalCount = labeledSum + gc.Count
-
-		switch {
-		case len(members) == 1:
-			gi := members[0]
-			res.Results[gi] = singleResult(groups[gi], gc, res.Labeled, len(ids))
-		case gc.Covered:
-			// Penalty case: the super-group is covered, which says
-			// nothing about individual members (line 8-12).
-			for _, gi := range members {
-				g := groups[gi]
-				sub, err := GroupCoverage(o, remaining, n, clampTau(tau-res.Labeled.Count(g)), g)
-				if err != nil {
-					return nil, err
-				}
-				audit.Tasks += sub.Tasks
-				res.Results[gi] = singleResult(g, sub, res.Labeled, len(ids))
-			}
-		default:
-			// The union has fewer than tau members, so every member is
-			// uncovered (line 13); only the joint count is exact.
-			superIdx := len(res.SuperAudits)
-			for _, gi := range members {
-				g := groups[gi]
-				lo := res.Labeled.Count(g)
-				res.Results[gi] = MultipleGroupResult{
-					Group:      g,
-					Covered:    false,
-					CountLo:    lo,
-					CountHi:    lo + gc.Count,
-					Exact:      false,
-					SuperIndex: superIdx,
-				}
-			}
-		}
-		res.SuperAudits = append(res.SuperAudits, audit)
-		res.AuditTasks += audit.Tasks
 	}
-	res.Tasks = res.SampleTasks + res.AuditTasks
-	return res, nil
+	return plans
+}
+
+// settleSuper folds one finished super-group audit — the union verdict
+// gc plus, in the covered-penalty case, the per-member re-audits subs
+// (aligned with plan.members) — into the result. Both the sequential
+// and the concurrent engine settle through this one function, so their
+// verdicts and task accounting cannot drift apart.
+func settleSuper(res *MultipleResult, plan superPlan, gc GroupResult, subs []GroupResult, groups []pattern.Group, universe int) {
+	audit := SuperAudit{
+		GroupIndices:   plan.members,
+		Covered:        gc.Covered,
+		RemainingCount: gc.Count,
+		TotalCount:     plan.labeledSum + gc.Count,
+		Tasks:          gc.Tasks,
+	}
+	switch {
+	case len(plan.members) == 1:
+		gi := plan.members[0]
+		res.Results[gi] = singleResult(groups[gi], gc, res.Labeled, universe)
+	case gc.Covered:
+		for i, gi := range plan.members {
+			audit.Tasks += subs[i].Tasks
+			res.Results[gi] = singleResult(groups[gi], subs[i], res.Labeled, universe)
+		}
+	default:
+		// The union has fewer than tau members, so every member is
+		// uncovered (line 13); only the joint count is exact.
+		superIdx := len(res.SuperAudits)
+		for _, gi := range plan.members {
+			g := groups[gi]
+			lo := res.Labeled.Count(g)
+			res.Results[gi] = MultipleGroupResult{
+				Group:      g,
+				Covered:    false,
+				CountLo:    lo,
+				CountHi:    lo + gc.Count,
+				Exact:      false,
+				SuperIndex: superIdx,
+			}
+		}
+	}
+	res.SuperAudits = append(res.SuperAudits, audit)
+	res.AuditTasks += audit.Tasks
 }
 
 // clampTau floors a residual threshold at zero: the samples already

@@ -17,6 +17,28 @@
 // interface, implemented by the crowd-platform simulator, by the
 // perfect TruthOracle used in the paper's synthetic experiments, and
 // by test doubles.
+//
+// On top of the sequential algorithms sits the concurrent audit
+// engine:
+//
+//   - BatchOracle (batch.go) extends Oracle with whole-round
+//     execution, the way HIT groups are actually posted; AsBatchOracle
+//     lifts plain oracles through a bounded worker pool, while
+//     TruthOracle and the crowd platform implement it natively.
+//   - CachingOracle (cache.go) deduplicates identical queries on a
+//     canonicalized key (sorted id-set plus group members) with
+//     in-flight collapsing; errors are never cached.
+//   - MultipleOptions.Parallelism (parallel.go) runs Multiple-Coverage
+//     with super-group audits and covered-penalty re-audits fanned
+//     across a worker pool, batched sampling, and per-audit child RNGs
+//     split deterministically from the seed. Verdicts, task counts and
+//     result bytes match the sequential engine exactly for
+//     order-independent oracles at any parallelism.
+//   - RetryPolicy (retry.go) re-posts transiently failing HITs with
+//     jittered backoff drawn from the per-audit child RNG.
+//   - GroupCoverageRounds (rounds.go) issues each tree level as one
+//     SetQueryBatch round, so even the order-dependent crowd simulator
+//     reproduces identical audits at every parallelism setting.
 package core
 
 import (
@@ -128,6 +150,38 @@ func (o *TruthOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
 	return out, nil
 }
 
+// SetQueryBatch implements BatchOracle natively: ground-truth answers
+// depend only on the request, so the batch is answered in place with
+// no worker pool.
+func (o *TruthOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
+	answers := make([]bool, len(reqs))
+	for i, req := range reqs {
+		var err error
+		if req.Reverse {
+			answers[i], err = o.ReverseSetQuery(req.IDs, req.Group)
+		} else {
+			answers[i], err = o.SetQuery(req.IDs, req.Group)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}
+
+// PointQueryBatch implements BatchOracle natively.
+func (o *TruthOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
+	labels := make([][]int, len(ids))
+	for i, id := range ids {
+		var err error
+		labels[i], err = o.PointQuery(id)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return labels, nil
+}
+
 // Tasks returns the oracle's task tally.
 func (o *TruthOracle) Tasks() TaskCounts {
 	o.mu.Lock()
@@ -144,17 +198,22 @@ func (o *TruthOracle) Reset() {
 
 // FlakyOracle wraps another oracle and fails every FailEvery-th call
 // with ErrTransient, for failure-injection tests: algorithms must
-// propagate oracle errors instead of mislabeling coverage.
+// propagate oracle errors instead of mislabeling coverage. Safe for
+// concurrent use when the inner oracle is.
 type FlakyOracle struct {
 	Inner     Oracle
 	FailEvery int
-	calls     int
+
+	mu    sync.Mutex
+	calls int
 }
 
 // ErrTransient is the error injected by FlakyOracle.
 var ErrTransient = errors.New("core: transient crowd failure")
 
 func (f *FlakyOracle) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.calls++
 	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
 		return ErrTransient

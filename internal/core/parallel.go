@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// This file is the concurrent audit engine behind
+// MultipleOptions.Parallelism: independent super-group audits — and
+// the per-member re-audits of the covered-penalty branch — run across
+// a bounded worker pool, the sampling phase is issued as one batched
+// oracle round, and every audit owns a child RNG split
+// deterministically from the seed so no goroutine ever shares
+// randomness. Results are assembled in super-group order, so with an
+// order-independent oracle the engine is bit-for-bit equivalent to
+// the sequential Algorithm 2 at every parallelism level.
+
+// runBounded runs fn(i) for every index in [0, n) across at most
+// parallelism goroutines and returns the lowest-indexed error among
+// the tasks that ran. Once any task fails, no further tasks are
+// dispatched — every query costs crowd money, so a doomed audit must
+// not keep posting HITs the sequential engine would never pay for.
+// The early stop means that when several tasks would fail, which
+// error surfaces can depend on scheduling; success paths stay fully
+// deterministic.
+func runBounded(parallelism, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	errs := make([]error, n)
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+		return firstError(errs)
+	}
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstError(errs)
+}
+
+// splitSeeds draws one child seed per audit from the parent RNG, in
+// deterministic order, so concurrently running audits never touch the
+// parent and identical seeds reproduce identical child streams at any
+// parallelism level.
+func splitSeeds(rng *rand.Rand, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	return seeds
+}
+
+// mixSeed derives a sub-seed for the i-th follow-up task of an audit
+// (splitmix-style odd-constant multiply) so penalty re-audits get
+// independent child RNGs too.
+func mixSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x & (1<<63 - 1))
+}
+
+// LabelSamplesBatch is the sampling phase of Algorithm 6 issued as one
+// batched oracle round: the same objects LabelSamples would pick with
+// the same RNG (both use chooseSamples) are labeled through a single
+// PointQueryBatch call, so a crowd deployment posts all c*tau sampling
+// HITs concurrently. The returned remaining ids, labeled set, and task
+// count are identical to the sequential LabelSamples for
+// order-independent oracles.
+func LabelSamplesBatch(o BatchOracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *rand.Rand) (remaining []dataset.ObjectID, tasks int, err error) {
+	if o == nil {
+		return nil, 0, errNilOracleOrSet
+	}
+	batch, remaining, err := chooseSamples(ids, k, l, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	labels, err := o.PointQueryBatch(batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, id := range batch {
+		l.Add(id, labels[i])
+	}
+	return remaining, len(batch), nil
+}
+
+// multipleCoverageParallel is Algorithm 2 on the concurrent engine;
+// MultipleCoverage dispatches here when opts.Parallelism > 1 (inputs
+// already validated, c is the resolved sample factor).
+func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, groups []pattern.Group, opts MultipleOptions) (*MultipleResult, error) {
+	res := &MultipleResult{
+		Results: make([]MultipleGroupResult, len(groups)),
+		Labeled: NewLabeledSet(),
+	}
+	budget := c * tau
+	if opts.NoSampling {
+		budget = 0
+	}
+
+	// Sampling round: one batch of point queries. Retries, when
+	// enabled, wrap the inner oracle per query; the jitter RNG is the
+	// parent (the batch is issued before any audit goroutine starts).
+	sampler := AsBatchOracle(withRetry(o, opts.Retry, opts.Rng), opts.Parallelism)
+	remaining, sampleTasks, err := LabelSamplesBatch(sampler, ids, budget, res.Labeled, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
+	res.RemainingIDs = remaining
+	res.SampleTasks = sampleTasks
+
+	plans := buildSuperPlans(res.Labeled, tau, groups, Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi))
+	seeds := splitSeeds(opts.Rng, len(plans))
+
+	// Round 1: every super-group union audit runs across the pool.
+	unionRes := make([]GroupResult, len(plans))
+	err = runBounded(opts.Parallelism, len(plans), func(si int) error {
+		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(seeds[si])))
+		var e error
+		unionRes[si], e = GroupCoverage(audit, remaining, n, plans[si].tauPrime, plans[si].union)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: the covered-penalty re-audits — every member of every
+	// covered multi-member super-group — also fan out across the pool,
+	// each with its own child RNG mixed from the super's seed.
+	type penaltyJob struct{ si, mi int }
+	var jobs []penaltyJob
+	for si, plan := range plans {
+		if len(plan.members) > 1 && unionRes[si].Covered {
+			for mi := range plan.members {
+				jobs = append(jobs, penaltyJob{si, mi})
+			}
+		}
+	}
+	subRes := make([]GroupResult, len(jobs))
+	err = runBounded(opts.Parallelism, len(jobs), func(j int) error {
+		job := jobs[j]
+		g := groups[plans[job.si].members[job.mi]]
+		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(mixSeed(seeds[job.si], job.mi))))
+		var e error
+		subRes[j], e = GroupCoverage(audit, remaining, n, clampTau(tau-res.Labeled.Count(g)), g)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Settle in super-group order through the same function as the
+	// sequential engine, so assembly is deterministic and identical.
+	sub := 0
+	for si, plan := range plans {
+		var subs []GroupResult
+		if len(plan.members) > 1 && unionRes[si].Covered {
+			subs = subRes[sub : sub+len(plan.members)]
+			sub += len(plan.members)
+		}
+		settleSuper(res, plan, unionRes[si], subs, groups, len(ids))
+	}
+	res.Tasks = res.SampleTasks + res.AuditTasks
+	return res, nil
+}

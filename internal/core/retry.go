@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// RetryPolicy re-posts transiently failing HITs, the way a deployment
+// handles expired or rejected assignments, instead of aborting a whole
+// multi-group audit on one bad task. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per query; values <= 1
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff scales the wait between attempts: before retry k the
+	// engine sleeps Backoff * (0.5 + jitter) where jitter in [0, 1) is
+	// drawn from the audit's child RNG. Zero sleeps not at all (tests).
+	Backoff time.Duration
+}
+
+// Enabled reports whether the policy actually retries.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// retryOracle wraps an oracle with the retry policy. Each concurrent
+// audit owns its own retryOracle with its own child RNG, so jitter
+// draws never race and stay deterministic per audit.
+//
+// retryOracle is itself a BatchOracle: over a natively batching inner
+// oracle a transient failure re-posts the whole round (preserving the
+// inner's request-order determinism); over a plain oracle each
+// request retries individually across the propagated pool width.
+type retryOracle struct {
+	inner  Oracle
+	policy RetryPolicy
+
+	mu         sync.Mutex // guards rng and batchWidth
+	rng        *rand.Rand
+	batchWidth int
+}
+
+// withRetry wraps o unless the policy is disabled.
+func withRetry(o Oracle, policy RetryPolicy, rng *rand.Rand) Oracle {
+	if !policy.Enabled() {
+		return o
+	}
+	return &retryOracle{inner: o, policy: policy, rng: rng, batchWidth: 1}
+}
+
+// withBatchParallelism widens the per-request retry pool (it never
+// narrows); AsBatchOracle propagates the caller's width here.
+func (r *retryOracle) withBatchParallelism(parallelism int) *retryOracle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if parallelism > r.batchWidth {
+		r.batchWidth = parallelism
+	}
+	return r
+}
+
+// width returns the current per-request retry pool width.
+func (r *retryOracle) width() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.batchWidth
+}
+
+// do runs fn up to MaxAttempts times, backing off with jitter between
+// attempts, and keeps only transient failures retryable.
+func (r *retryOracle) do(fn func() error) error {
+	var err error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			jitter := 0.5 + r.rng.Float64()
+			r.mu.Unlock()
+			if d := time.Duration(float64(r.policy.Backoff) * jitter); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err = fn(); err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+// SetQuery implements Oracle.
+func (r *retryOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	var ans bool
+	err := r.do(func() error {
+		var e error
+		ans, e = r.inner.SetQuery(ids, g)
+		return e
+	})
+	return ans, err
+}
+
+// ReverseSetQuery implements Oracle.
+func (r *retryOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	var ans bool
+	err := r.do(func() error {
+		var e error
+		ans, e = r.inner.ReverseSetQuery(ids, g)
+		return e
+	})
+	return ans, err
+}
+
+// PointQuery implements Oracle.
+func (r *retryOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	var labels []int
+	err := r.do(func() error {
+		var e error
+		labels, e = r.inner.PointQuery(id)
+		return e
+	})
+	return labels, err
+}
+
+// SetQueryBatch implements BatchOracle; see the type comment for the
+// native-vs-lifted retry semantics.
+func (r *retryOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
+	if bo, ok := r.inner.(BatchOracle); ok {
+		var answers []bool
+		err := r.do(func() error {
+			var e error
+			answers, e = bo.SetQueryBatch(reqs)
+			return e
+		})
+		return answers, err
+	}
+	return NewBatchAdapter(r, r.width()).SetQueryBatch(reqs)
+}
+
+// PointQueryBatch implements BatchOracle; see SetQueryBatch.
+func (r *retryOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
+	if bo, ok := r.inner.(BatchOracle); ok {
+		var labels [][]int
+		err := r.do(func() error {
+			var e error
+			labels, e = bo.PointQueryBatch(ids)
+			return e
+		})
+		return labels, err
+	}
+	return NewBatchAdapter(r, r.width()).PointQueryBatch(ids)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"imagecvg/internal/dataset"
 	"imagecvg/internal/pattern"
@@ -21,16 +20,18 @@ type RoundsResult struct {
 }
 
 // GroupCoverageRounds is a deployment-oriented variant of Algorithm 1
-// that issues every set query of one tree level as a single concurrent
-// batch (bounded by parallelism goroutines), the way HIT groups are
-// actually posted to a crowd platform. Latency drops from Theta(tasks)
-// sequential waits to at most 1+ceil(log2 n) rounds; the price is that
-// the early-stop check runs only between rounds and the free
+// that issues every set query of one tree level as one SetQueryBatch
+// round, the way HIT groups are actually posted to a crowd platform.
+// Oracles without native batching are lifted through a worker pool of
+// parallelism goroutines. Latency drops from Theta(tasks) sequential
+// waits to at most 1+ceil(log2 n) rounds; the price is that the
+// early-stop check runs only between rounds and the free
 // right-sibling inference disappears (both siblings are already in
 // flight), so the variant issues somewhat more tasks than the
 // sequential algorithm.
 //
-// The oracle must be safe for concurrent use (TruthOracle is; a real
+// The oracle must be safe for concurrent use unless it implements
+// BatchOracle natively (TruthOracle and the crowd platform do; a real
 // crowd bridge naturally is).
 func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern.Group, parallelism int) (RoundsResult, error) {
 	res := RoundsResult{GroupResult: GroupResult{Group: g}}
@@ -64,27 +65,17 @@ func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern
 		frontier = append(frontier, &node{b: i, e: end})
 	}
 
+	bo := AsBatchOracle(o, parallelism)
 	cnt := 0
 	for len(frontier) > 0 {
 		res.Rounds++
-		answers := make([]bool, len(frontier))
-		errs := make([]error, len(frontier))
-		sem := make(chan struct{}, parallelism)
-		var wg sync.WaitGroup
+		reqs := make([]SetRequest, len(frontier))
 		for i, t := range frontier {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, t *node) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				answers[i], errs[i] = o.SetQuery(ids[t.b:t.e], g)
-			}(i, t)
+			reqs[i] = SetRequest{IDs: ids[t.b:t.e], Group: g}
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return res, err
-			}
+		answers, err := bo.SetQueryBatch(reqs)
+		if err != nil {
+			return res, err
 		}
 		res.Tasks += len(frontier)
 

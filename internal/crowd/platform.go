@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"imagecvg/internal/core"
 	"imagecvg/internal/dataset"
 	"imagecvg/internal/imagegen"
 	"imagecvg/internal/pattern"
@@ -59,7 +61,15 @@ func DefaultConfig(seed int64) Config {
 // randomly drawn eligible workers, aggregates their answers, and
 // accounts every HIT in a ledger.
 //
-// Platform implements the core.Oracle interface.
+// Platform implements core.Oracle and, natively, core.BatchOracle. A
+// mutex serializes all HITs (worker draws and perception noise share
+// the platform RNG), so concurrent audit engines may call it safely —
+// but interleaved calls consume the RNG in arrival order, which is
+// nondeterministic under concurrency. Deployments that need
+// reproducible parallel audits should post whole rounds through
+// SetQueryBatch/PointQueryBatch: a batch holds the lock once and
+// answers in request order, so identically-seeded runs reproduce the
+// same answers at any parallelism level.
 type Platform struct {
 	ds       *dataset.Dataset
 	renderer *imagegen.Renderer
@@ -68,7 +78,9 @@ type Platform struct {
 	pool     []*Worker
 	eligible []*Worker
 	ledger   *Ledger
-	rng      *rand.Rand
+
+	mu  sync.Mutex // serializes HITs: rng, worker RNG state, ledger
+	rng *rand.Rand
 }
 
 // NewPlatform builds a platform over the dataset: generates the worker
@@ -182,15 +194,53 @@ func (p *Platform) glyphsFor(ids []dataset.ObjectID) ([]imagegen.Glyph, error) {
 // SetQuery publishes the HIT "does this set contain at least one image
 // of group g?" and returns the aggregated answer.
 func (p *Platform) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.setQuery(ids, g, false)
 }
 
 // ReverseSetQuery publishes "does this set contain at least one image
 // NOT in group g?" and returns the aggregated answer.
 func (p *Platform) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.setQuery(ids, g, true)
 }
 
+// SetQueryBatch implements core.BatchOracle natively: the whole round
+// is posted under one lock acquisition and answered in request order,
+// so batched audits stay deterministic for a fixed seed regardless of
+// the caller's parallelism.
+func (p *Platform) SetQueryBatch(reqs []core.SetRequest) ([]bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	answers := make([]bool, len(reqs))
+	for i, req := range reqs {
+		ans, err := p.setQuery(req.IDs, req.Group, req.Reverse)
+		if err != nil {
+			return nil, err
+		}
+		answers[i] = ans
+	}
+	return answers, nil
+}
+
+// PointQueryBatch implements core.BatchOracle; see SetQueryBatch.
+func (p *Platform) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	labels := make([][]int, len(ids))
+	for i, id := range ids {
+		l, err := p.pointQuery(id)
+		if err != nil {
+			return nil, err
+		}
+		labels[i] = l
+	}
+	return labels, nil
+}
+
+// setQuery publishes one set/reverse-set HIT; callers hold p.mu.
 func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse bool) (bool, error) {
 	glyphs, err := p.glyphsFor(ids)
 	if err != nil {
@@ -227,6 +277,13 @@ func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse boo
 // PointQuery publishes the HIT "what are the attribute values of this
 // image?" and returns the aggregated label vector.
 func (p *Platform) PointQuery(id dataset.ObjectID) ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pointQuery(id)
+}
+
+// pointQuery publishes one point HIT; callers hold p.mu.
+func (p *Platform) pointQuery(id dataset.ObjectID) ([]int, error) {
 	glyphs, err := p.glyphsFor([]dataset.ObjectID{id})
 	if err != nil {
 		return nil, err

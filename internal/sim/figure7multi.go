@@ -14,11 +14,16 @@ import (
 // (section 6.5.2): N = 10,000, tau = n = 50.
 type MultiParams struct {
 	N, Tau, SetSize int
+	// Parallelism sizes the concurrent engine's worker pool; the
+	// experiments run against the order-independent TruthOracle, so
+	// any value reproduces the sequential engine's numbers exactly.
+	Parallelism int
 }
 
-// DefaultMultiParams mirrors the paper.
+// DefaultMultiParams mirrors the paper; the harness exercises the
+// concurrent engine by default.
 func DefaultMultiParams() MultiParams {
-	return MultiParams{N: 10_000, Tau: 50, SetSize: 50}
+	return MultiParams{N: 10_000, Tau: 50, SetSize: 50, Parallelism: 4}
 }
 
 // MultiSetting is one experiment setting of the paper's Table 3: a
@@ -71,6 +76,16 @@ type MultiResult struct {
 	Name      string
 	Heuristic string
 	Rows      []MultiRow
+}
+
+// TotalTasks sums the heuristic's tasks over all rows, for machine
+// consumers (cvgbench -json).
+func (r *MultiResult) TotalTasks() float64 {
+	total := 0.0
+	for _, row := range r.Rows {
+		total += row.HeuristicTasks
+	}
+	return total
 }
 
 // String renders the bars as a table.
@@ -142,7 +157,7 @@ func RunFigure7e(p MultiParams, seed int64, trials int) (*MultiResult, error) {
 			}
 			o := core.NewTruthOracle(d)
 			mres, err := core.MultipleCoverage(o, d.IDs(), p.SetSize, p.Tau, groups,
-				core.MultipleOptions{Rng: rng})
+				core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -209,7 +224,7 @@ func intersectionalTrial(s *pattern.Schema, counts []int, p MultiParams, rng *ra
 	}
 	o := core.NewTruthOracle(d)
 	ires, err := core.IntersectionalCoverage(o, d.IDs(), p.SetSize, p.Tau, s,
-		core.MultipleOptions{Rng: rng})
+		core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -280,7 +295,7 @@ func RunFigure7g(p MultiParams, seed int64, trials int) (*MultiResult, error) {
 			}
 			o := core.NewTruthOracle(d)
 			mres, err := core.MultipleCoverage(o, d.IDs(), p.SetSize, p.Tau, groups,
-				core.MultipleOptions{Rng: rng})
+				core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
 			if err != nil {
 				return nil, err
 			}

@@ -8,7 +8,9 @@ import (
 	"imagecvg/internal/core"
 	"imagecvg/internal/crowd"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/pattern"
+	"imagecvg/internal/stats"
 )
 
 // Re-exported substrate types. Aliases keep the public surface small
@@ -50,6 +52,9 @@ type (
 	SimulatedClassifier = classifier.Simulated
 	// Confusion is a binary confusion matrix with derived metrics.
 	Confusion = classifier.Confusion
+
+	// Summary describes repeated observations (mean, stddev, 95% CI).
+	Summary = stats.Summary
 )
 
 // Wildcard is the unspecified pattern slot, written X in the paper.
@@ -125,6 +130,30 @@ func GenerateBinary(n, minority int, seed int64) (*Dataset, error) {
 // deterministically.
 func DatasetFromCounts(s *Schema, counts []int, seed int64) (*Dataset, error) {
 	return dataset.FromCounts(s, counts, rand.New(rand.NewSource(seed)))
+}
+
+// RunTrials repeats an observation across a bounded worker pool — the
+// parallel trial-runner behind the repository's experiment harness,
+// exposed for library callers benchmarking their own audits. Trial i
+// receives a child RNG seeded deterministically with seed+i, so the
+// summary (mean, stddev, 95% CI in trial order) is identical at every
+// parallelism level; parallelism <= 1 runs the trials sequentially.
+// Trials must take all randomness from their RNG and share only
+// concurrency-safe state (e.g. one oracle behind a cache); the first
+// failing trial aborts the run.
+func RunTrials(trials, parallelism int, seed int64, trial func(i int, rng *rand.Rand) (float64, error)) (Summary, error) {
+	res, err := experiment.Run(experiment.Config{
+		Name:        "RunTrials",
+		Seed:        seed,
+		Trials:      trials,
+		Parallelism: parallelism,
+	}, func(t experiment.Trial) (float64, error) {
+		return trial(t.Index, t.Rng)
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+	return res.Summarize(func(x float64) float64 { return x }), nil
 }
 
 // Auditor runs coverage audits with fixed parameters against an

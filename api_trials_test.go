@@ -1,0 +1,64 @@
+package imagecvg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestRunTrialsDeterministicAcrossParallelism: the public trial-runner
+// façade must summarize identically at any pool width, with trial i
+// seeded at seed+i.
+func TestRunTrialsDeterministicAcrossParallelism(t *testing.T) {
+	ds, err := GenerateBinary(2_000, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	audit := func(i int, rng *rand.Rand) (float64, error) {
+		// A realistic use: re-audit with per-trial sampling randomness.
+		auditor := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(rng.Int63())
+		res, err := auditor.AuditGroups(ds.IDs(), []Group{g})
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Tasks), nil
+	}
+	seq, err := RunTrials(6, 1, 42, audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.N != 6 || seq.Mean <= 0 {
+		t.Fatalf("summary = %+v", seq)
+	}
+	for _, par := range []int{4, 8} {
+		got, err := RunTrials(6, par, 42, audit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
+			t.Errorf("parallelism %d: summary %+v, want %+v", par, got, seq)
+		}
+	}
+	if seq.CI95() <= 0 && seq.Std > 0 {
+		t.Error("CI95 should be positive for a spread sample")
+	}
+}
+
+// TestRunTrialsNormalizesAndPropagates: non-positive trial counts run
+// once; errors surface.
+func TestRunTrialsNormalizesAndPropagates(t *testing.T) {
+	s, err := RunTrials(0, 4, 1, func(i int, rng *rand.Rand) (float64, error) { return 7, nil })
+	if err != nil || s.N != 1 || s.Mean != 7 {
+		t.Errorf("summary = %+v, err = %v", s, err)
+	}
+	boom := errors.New("boom")
+	if _, err := RunTrials(4, 2, 1, func(i int, rng *rand.Rand) (float64, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return 0, nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}

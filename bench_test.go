@@ -16,7 +16,11 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/sim"
 )
 
@@ -39,7 +43,7 @@ func benchExperiment(b *testing.B, id string) {
 	var res fmt.Stringer
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = exp.Run(benchSeed, benchTrials)
+		res, err = exp.Run(sim.Options{Seed: benchSeed, Trials: benchTrials})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,6 +126,105 @@ func BenchmarkSamplingBaseline(b *testing.B) { benchExperiment(b, "sampling-base
 // BenchmarkAggregation regenerates the truth-inference comparison
 // under spammer-heavy worker pools.
 func BenchmarkAggregation(b *testing.B) { benchExperiment(b, "aggregation") }
+
+// --- trial-runner benchmarks -----------------------------------------------
+
+// benchmarkHarnessTable1 regenerates Table 1 with 8 crowd deployments
+// per setting through the experiment engine at the given
+// trial-parallelism — the workload whose wall-clock the trial pool
+// targets (24 independent deployments, each a pure function of its
+// seed).
+func benchmarkHarnessTable1(b *testing.B, parallelism int) {
+	exp, ok := sim.Lookup("table1")
+	if !ok {
+		b.Fatal("table1 missing from registry")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(sim.Options{Seed: benchSeed, Trials: 8, Parallelism: parallelism}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessTable1Sequential is the trial-runner baseline
+// (parallelism 1: the legacy sequential harness, byte-for-byte).
+func BenchmarkHarnessTable1Sequential(b *testing.B) { benchmarkHarnessTable1(b, 1) }
+
+// BenchmarkHarnessTable1Parallel runs the identical trials across a
+// NumCPU-wide pool; the rendered table is identical, the wall-clock is
+// not.
+func BenchmarkHarnessTable1Parallel(b *testing.B) {
+	benchmarkHarnessTable1(b, runtime.NumCPU())
+}
+
+// latencyOracle models what dominates a real deployment: every HIT
+// takes wall-clock time to come back from the crowd. Safe for
+// concurrent use (TruthOracle is).
+type latencyOracle struct {
+	*core.TruthOracle
+	delay time.Duration
+}
+
+func (o latencyOracle) SetQuery(ids []dataset.ObjectID, g Group) (bool, error) {
+	time.Sleep(o.delay)
+	return o.TruthOracle.SetQuery(ids, g)
+}
+
+func (o latencyOracle) ReverseSetQuery(ids []dataset.ObjectID, g Group) (bool, error) {
+	time.Sleep(o.delay)
+	return o.TruthOracle.ReverseSetQuery(ids, g)
+}
+
+func (o latencyOracle) PointQuery(id ObjectID) ([]int, error) {
+	time.Sleep(o.delay)
+	return o.TruthOracle.PointQuery(id)
+}
+
+// benchmarkTrialRunnerLatency measures the trial-runner on a
+// multi-trial experiment whose oracle carries per-HIT latency — the
+// regime the paper's deployments live in (a real HIT takes minutes;
+// 1ms stands in). Eight independent Group-Coverage audits fan out
+// across the pool, so wall-clock shrinks with parallelism even on a
+// single core.
+func benchmarkTrialRunnerLatency(b *testing.B, parallelism int) {
+	ds, err := GenerateBinary(1_000, 20, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	ids := ds.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiment.Run(experiment.Config{
+			Name: "latency-audit", Seed: benchSeed, Trials: 8, Parallelism: parallelism,
+		}, func(t experiment.Trial) (int, error) {
+			o := latencyOracle{TruthOracle: core.NewTruthOracle(ds), delay: time.Millisecond}
+			res, err := core.GroupCoverage(o, ids, 50, 20, g)
+			if err != nil {
+				return 0, err
+			}
+			return res.Tasks, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialRunnerLatencySequential is the baseline: 8 trials in
+// sequence, each paying its full round-trip latency.
+func BenchmarkTrialRunnerLatencySequential(b *testing.B) { benchmarkTrialRunnerLatency(b, 1) }
+
+// BenchmarkTrialRunnerLatencyParallel4 overlaps the same trials on a
+// 4-wide pool (>= 2x wall-clock win; latency, not CPU, is the
+// bottleneck).
+func BenchmarkTrialRunnerLatencyParallel4(b *testing.B) { benchmarkTrialRunnerLatency(b, 4) }
+
+// BenchmarkTrialRunnerLatencyParallel8 saturates the pool at the
+// trial count.
+func BenchmarkTrialRunnerLatencyParallel8(b *testing.B) { benchmarkTrialRunnerLatency(b, 8) }
 
 // --- micro-benchmarks of the core machinery --------------------------------
 

@@ -1,13 +1,16 @@
 // Command cvgbench regenerates the paper's evaluation artifacts: every
 // table and figure of section 6 plus the extension experiments,
-// printed as aligned text tables.
+// printed as aligned text tables. Experiments run on the parallel
+// trial-runner (internal/experiment); -trial-parallelism widens the
+// pool and -json appends machine-readable records to a benchmark
+// history keyed by git SHA and timestamp.
 //
 // Usage:
 //
 //	cvgbench -list
 //	cvgbench -exp table1 -seed 42 -trials 5
-//	cvgbench -exp all
-//	cvgbench -exp all -json BENCH_core.json
+//	cvgbench -exp all -trial-parallelism 8
+//	cvgbench -exp all -json BENCH_core.json -baseline
 package main
 
 import (
@@ -16,9 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/sim"
+	"imagecvg/internal/stats"
 )
 
 // benchRecord is one experiment's machine-readable result, for
@@ -33,14 +40,116 @@ type benchRecord struct {
 	NsPerOp int64 `json:"ns_per_op"`
 	// Seconds is the experiment's total wall-clock.
 	Seconds float64 `json:"seconds"`
+	// TrialSeconds sums per-trial wall-clock across the experiment's
+	// cells; Seconds below it means the trial pool paid off.
+	TrialSeconds float64 `json:"trial_seconds,omitempty"`
 	// HITTasks is the experiment's crowd-task total when the result
 	// reports one (the paper's single cost metric).
 	HITTasks float64 `json:"hit_tasks,omitempty"`
 }
 
+// benchRun is one cvgbench invocation's records, keyed for the
+// append-only history a BENCH file accumulates across commits.
+type benchRun struct {
+	// SHA is the git commit the run measured (empty outside a repo).
+	SHA string `json:"sha,omitempty"`
+	// Time is the run's UTC timestamp, RFC 3339.
+	Time string `json:"time"`
+	// Seed, Trials and TrialParallelism echo the flags.
+	Seed             int64 `json:"seed"`
+	Trials           int   `json:"trials"`
+	TrialParallelism int   `json:"trial_parallelism"`
+	// Records holds one entry per experiment run.
+	Records []benchRecord `json:"records"`
+}
+
 // taskTotaler is implemented by results that can report their total
 // crowd cost (e.g. the multi-group figures).
 type taskTotaler interface{ TotalTasks() float64 }
+
+// gitSHA resolves the current commit, best-effort.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadHistory reads an existing benchmark file. Legacy files (a bare
+// array of records, the pre-history format) migrate to a single
+// unkeyed run so no measurements are lost.
+func loadHistory(path string) ([]benchRun, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// probe detects the format: history entries carry "records",
+	// legacy entries carry "id".
+	type probe struct {
+		ID      string        `json:"id"`
+		Records []benchRecord `json:"records"`
+	}
+	var probes []probe
+	if err := json.Unmarshal(data, &probes); err != nil {
+		return nil, fmt.Errorf("unreadable benchmark history: %w", err)
+	}
+	legacy := false
+	for _, p := range probes {
+		if p.ID != "" {
+			legacy = true
+			break
+		}
+	}
+	if legacy {
+		var records []benchRecord
+		if err := json.Unmarshal(data, &records); err != nil {
+			return nil, fmt.Errorf("unreadable legacy benchmark file: %w", err)
+		}
+		return []benchRun{{Records: records}}, nil
+	}
+	var runs []benchRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, fmt.Errorf("unreadable benchmark history: %w", err)
+	}
+	return runs, nil
+}
+
+// reportBaseline prints deltas of the current records against the
+// previous run in the history.
+func reportBaseline(out io.Writer, history []benchRun, current []benchRecord) {
+	if len(history) == 0 {
+		fmt.Fprintln(out, "baseline: no previous run recorded")
+		return
+	}
+	prev := history[len(history)-1]
+	prevByID := make(map[string]benchRecord, len(prev.Records))
+	for _, r := range prev.Records {
+		prevByID[r.ID] = r
+	}
+	label := prev.SHA
+	if label == "" {
+		label = prev.Time
+	}
+	if label == "" {
+		label = "previous run"
+	}
+	t := stats.NewTable("experiment", "ns/op", "baseline ns/op", "delta", "HIT tasks delta")
+	for _, r := range current {
+		p, ok := prevByID[r.ID]
+		if !ok || p.NsPerOp <= 0 {
+			t.AddRow(r.ID, r.NsPerOp, "-", "-", "-")
+			continue
+		}
+		delta := 100 * (float64(r.NsPerOp) - float64(p.NsPerOp)) / float64(p.NsPerOp)
+		t.AddRow(r.ID, r.NsPerOp, p.NsPerOp,
+			fmt.Sprintf("%+.1f%%", delta), fmt.Sprintf("%+.1f", r.HITTasks-p.HITTasks))
+	}
+	fmt.Fprintf(out, "baseline deltas vs %s:\n%s\n", label, t.String())
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -53,8 +162,10 @@ func run(args []string, out, errOut io.Writer) int {
 		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
 		seed     = fs.Int64("seed", 42, "base random seed")
 		trials   = fs.Int("trials", 3, "repetitions averaged per configuration")
+		trialPar = fs.Int("trial-parallelism", 1, "trial-runner worker pool width (1 = sequential harness; results are identical at any width)")
 		list     = fs.Bool("list", false, "list available experiments and exit")
-		jsonPath = fs.String("json", "", "write benchmark records (ns/op, HIT counts) as JSON, e.g. BENCH_core.json")
+		jsonPath = fs.String("json", "", "append benchmark records (ns/op, HIT counts) to a JSON history keyed by git SHA + timestamp, e.g. BENCH_core.json")
+		baseline = fs.Bool("baseline", false, "with -json: report deltas against the history's previous run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,17 +178,28 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		return 0
 	}
+	if *baseline && *jsonPath == "" {
+		fmt.Fprintln(errOut, "cvgbench: -baseline requires -json")
+		return 2
+	}
+
+	timing := experiment.NewRecorder()
+	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar, Timing: timing}
 
 	var records []benchRecord
 	runOne := func(e sim.Experiment) error {
+		timing.Reset()
 		start := time.Now()
-		res, err := e.Run(*seed, *trials)
+		res, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start)
+		ts := timing.Summary()
 		fmt.Fprintf(out, "=== %s (%s) — %s [%.1fs]\n%s\n",
 			e.ID, e.Paper, e.Description, elapsed.Seconds(), res)
+		fmt.Fprintf(out, "    timing: %s, wall %.2fs, pool %d\n",
+			ts, elapsed.Seconds(), *trialPar)
 		perOp := *trials
 		if perOp < 1 {
 			perOp = 1 // experiments treat non-positive trial counts as 1
@@ -85,6 +207,7 @@ func run(args []string, out, errOut io.Writer) int {
 		rec := benchRecord{
 			ID: e.ID, Paper: e.Paper, Seed: *seed, Trials: *trials,
 			NsPerOp: elapsed.Nanoseconds() / int64(perOp), Seconds: elapsed.Seconds(),
+			TrialSeconds: ts.TrialTime.Seconds(),
 		}
 		if tt, ok := res.(taskTotaler); ok {
 			rec.HITTasks = tt.TotalTasks()
@@ -113,7 +236,21 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(records, "", "  ")
+		history, err := loadHistory(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgbench:", err)
+			return 1
+		}
+		if *baseline {
+			reportBaseline(out, history, records)
+		}
+		history = append(history, benchRun{
+			SHA:  gitSHA(),
+			Time: time.Now().UTC().Format(time.RFC3339),
+			Seed: *seed, Trials: *trials, TrialParallelism: *trialPar,
+			Records: records,
+		})
+		data, err := json.MarshalIndent(history, "", "  ")
 		if err != nil {
 			fmt.Fprintln(errOut, "cvgbench:", err)
 			return 1
@@ -122,7 +259,8 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(errOut, "cvgbench:", err)
 			return 1
 		}
-		fmt.Fprintf(out, "wrote %d benchmark records to %s\n", len(records), *jsonPath)
+		fmt.Fprintf(out, "appended %d benchmark records to %s (%d runs)\n",
+			len(records), *jsonPath, len(history))
 	}
 	return 0
 }

@@ -13,7 +13,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
 	}
-	for _, want := range []string{"table1", "table2", "figure7a", "noise-sweep"} {
+	for _, want := range []string{"table1", "table2", "figure7a", "noise-sweep", "sweep"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q", want)
 		}
@@ -31,10 +31,90 @@ func TestRunSingleExperiment(t *testing.T) {
 	if !strings.Contains(out.String(), "Figure 7e") {
 		t.Errorf("output missing artifact name")
 	}
+	if !strings.Contains(out.String(), "timing:") {
+		t.Errorf("output missing per-trial timing line")
+	}
 }
 
-func TestJSONOutput(t *testing.T) {
+// TestTrialParallelismIdenticalTables: the same experiment renders the
+// identical table at trial-parallelism 1 and 8 — the engine's core
+// reproducibility promise, surfaced end to end.
+func TestTrialParallelismIdenticalTables(t *testing.T) {
+	tables := func(parallelism string) string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "2",
+			"-trial-parallelism", parallelism}, &out, &errOut); code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+		}
+		// Strip the wall-clock-bearing lines; compare the tables.
+		var kept []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "===") || strings.Contains(line, "timing:") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	seq, par := tables("1"), tables("8")
+	if seq != par {
+		t.Errorf("tables diverged across trial-parallelism:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestJSONOutputAppendsHistory(t *testing.T) {
 	path := t.TempDir() + "/BENCH_core.json"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	read := func() []benchRun {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var runs []benchRun
+		if err := json.Unmarshal(data, &runs); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, data)
+		}
+		return runs
+	}
+	runs := read()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	if runs[0].Time == "" {
+		t.Error("run missing timestamp")
+	}
+	if len(runs[0].Records) != 1 || runs[0].Records[0].ID != "figure7e" {
+		t.Fatalf("records = %+v", runs[0].Records)
+	}
+	if runs[0].Records[0].NsPerOp <= 0 {
+		t.Error("ns_per_op must be positive")
+	}
+	if runs[0].Records[0].HITTasks <= 0 {
+		t.Error("figure7e should report its HIT total")
+	}
+
+	// A second invocation appends instead of overwriting.
+	out.Reset()
+	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("second run exit = %d, stderr: %s", code, errOut.String())
+	}
+	if runs = read(); len(runs) != 2 {
+		t.Fatalf("after second run: %d runs, want 2 (history must append)", len(runs))
+	}
+	if !strings.Contains(out.String(), "2 runs") {
+		t.Errorf("output should report history length:\n%s", out.String())
+	}
+}
+
+func TestJSONMigratesLegacyFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_core.json"
+	legacy := `[{"id":"figure7e","paper":"Figure 7e","seed":7,"trials":1,"ns_per_op":123,"seconds":0.1,"hit_tasks":400}]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
@@ -43,22 +123,48 @@ func TestJSONOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var records []struct {
-		ID       string  `json:"id"`
-		NsPerOp  int64   `json:"ns_per_op"`
-		HITTasks float64 `json:"hit_tasks"`
+	var runs []benchRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatalf("invalid JSON after migration: %v", err)
 	}
-	if err := json.Unmarshal(data, &records); err != nil {
-		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want legacy run + new run", len(runs))
 	}
-	if len(records) != 1 || records[0].ID != "figure7e" {
-		t.Fatalf("records = %+v", records)
+	if len(runs[0].Records) != 1 || runs[0].Records[0].NsPerOp != 123 {
+		t.Errorf("legacy records lost: %+v", runs[0])
 	}
-	if records[0].NsPerOp <= 0 {
-		t.Error("ns_per_op must be positive")
+}
+
+func TestBaselineReportsDeltas(t *testing.T) {
+	path := t.TempDir() + "/BENCH_core.json"
+	var out, errOut bytes.Buffer
+	// First run: nothing to compare against.
+	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path, "-baseline"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
 	}
-	if records[0].HITTasks <= 0 {
-		t.Error("figure7e should report its HIT total")
+	if !strings.Contains(out.String(), "no previous run") {
+		t.Errorf("first -baseline should note the empty history:\n%s", out.String())
+	}
+	// Second run: deltas against the first.
+	out.Reset()
+	if code := run([]string{"-exp", "figure7e", "-seed", "7", "-trials", "1", "-json", path, "-baseline"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "baseline deltas vs") {
+		t.Errorf("missing delta report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "figure7e") || !strings.Contains(out.String(), "%") {
+		t.Errorf("delta table incomplete:\n%s", out.String())
+	}
+}
+
+func TestBaselineRequiresJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7e", "-baseline"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-baseline requires -json") {
+		t.Errorf("stderr = %q", errOut.String())
 	}
 }
 
@@ -66,6 +172,17 @@ func TestJSONOutputBadPath(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-exp", "figure7e", "-trials", "1", "-json", "/no/such/dir/b.json"}, &out, &errOut); code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestJSONCorruptHistory(t *testing.T) {
+	path := t.TempDir() + "/BENCH_core.json"
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7e", "-trials", "1", "-json", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 (corrupt history must not be clobbered)", code)
 	}
 }
 

@@ -51,7 +51,19 @@
 //     is never posted twice; transient errors are never cached, and
 //     Auditor.WithRetry re-posts them instead of aborting.
 //
+// # Experiment engine
+//
+// Above the audits sits a parallel trial-runner (exposed as RunTrials,
+// fully fleshed out in the internal experiment package): an experiment
+// is a grid of configurations, each repeated over independent trials
+// that fan out across the same bounded worker pool, with per-trial
+// child RNGs derived from the base seed. Aggregation (mean, stddev,
+// 95% CI) follows trial order, so results are byte-identical at every
+// parallelism level — the entire paper evaluation (cvgbench) rides it,
+// and a shared query cache can span all trials of a configuration so
+// re-audits of one dataset amortize their HITs.
+//
 // The exported API is a thin façade; the implementation lives in
 // internal packages (core, pattern, dataset, crowd, classifier, ml,
-// sim) whose relevant types are re-exported here by alias.
+// experiment, sim) whose relevant types are re-exported here by alias.
 package imagecvg

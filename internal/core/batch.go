@@ -105,7 +105,7 @@ func firstError(errs []error) error {
 // SetQueryBatch implements BatchOracle.
 func (a *batchAdapter) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	answers := make([]bool, len(reqs))
-	err := runBounded(a.parallelism, len(reqs), func(i int) error {
+	err := RunBounded(a.parallelism, len(reqs), func(i int) error {
 		var e error
 		if reqs[i].Reverse {
 			answers[i], e = a.inner.ReverseSetQuery(reqs[i].IDs, reqs[i].Group)
@@ -123,7 +123,7 @@ func (a *batchAdapter) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 // PointQueryBatch implements BatchOracle.
 func (a *batchAdapter) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
 	labels := make([][]int, len(ids))
-	err := runBounded(a.parallelism, len(ids), func(i int) error {
+	err := RunBounded(a.parallelism, len(ids), func(i int) error {
 		var e error
 		labels[i], e = a.inner.PointQuery(ids[i])
 		return e

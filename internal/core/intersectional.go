@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math/rand"
 	"sort"
 
 	"imagecvg/internal/dataset"
@@ -52,7 +53,11 @@ type IntersectionalResult struct {
 // Where the propagated interval straddles tau — possible only for
 // partial overlaps with an uncovered super-group — the algorithm
 // resolves the pattern with one additional Group-Coverage run, so
-// every verdict is definite.
+// every verdict is definite. Those resolution re-audits are mutually
+// independent, so with opts.Parallelism > 1 they dispatch across the
+// same bounded worker pool as the leaf audits; results settle in
+// pattern-universe order, keeping verdicts, MUPs and task counts
+// identical to the sequential engine for order-independent oracles.
 func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pattern.Schema, opts MultipleOptions) (*IntersectionalResult, error) {
 	if s == nil {
 		return nil, errors.New("core: nil schema")
@@ -88,29 +93,62 @@ func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pat
 		Verdicts: make(map[string]PatternVerdict, s.NumPatterns()),
 		Multiple: mres,
 	}
+	// Resolution phase. Every pattern's verdict follows from the
+	// propagated bounds alone (no oracle calls), so the straddling
+	// patterns are known up front; their re-audits are independent of
+	// one another and fan out across the worker pool.
 	universe := pattern.Universe(s)
+	type resolution struct {
+		pattern pattern.Pattern
+		group   pattern.Group
+		labeled int
+		audit   GroupResult
+	}
+	var unresolved []resolution
 	for _, p := range universe {
 		b := bounds[p.Key()]
 		v := PatternVerdict{Pattern: p, Coverage: b.Verdict(tau), Bounds: b}
 		if v.Coverage == pattern.Unknown {
 			g := pattern.Group{Name: p.Format(s), Members: []pattern.Pattern{p}}
-			labeled := mres.Labeled.Count(g)
-			gc, err := GroupCoverage(o, mres.RemainingIDs, n, clampTau(tau-labeled), g)
-			if err != nil {
-				return nil, err
-			}
-			res.ResolutionTasks += gc.Tasks
-			total := labeled + gc.Count
-			if gc.Covered {
-				v.Coverage = pattern.Covered
-				v.Bounds = pattern.Bounds{Lo: maxInt(total, b.Lo), Hi: b.Hi}
-			} else {
-				v.Coverage = pattern.Uncovered
-				v.Bounds = pattern.Bounds{Lo: total, Hi: total}
-			}
-			v.Resolved = true
+			unresolved = append(unresolved, resolution{pattern: p, group: g, labeled: mres.Labeled.Count(g)})
 		}
 		res.Verdicts[p.Key()] = v
+	}
+	// Retry wraps each re-audit with its own child RNG like every
+	// other audit phase; the child seeds are drawn only when a policy
+	// is set, so retry-free runs leave opts.Rng untouched.
+	var seeds []int64
+	if opts.Retry.Enabled() {
+		seeds = splitSeeds(opts.Rng, len(unresolved))
+	}
+	err = RunBounded(opts.Parallelism, len(unresolved), func(i int) error {
+		r := &unresolved[i]
+		audit := o
+		if seeds != nil {
+			audit = withRetry(o, opts.Retry, rand.New(rand.NewSource(seeds[i])))
+		}
+		var e error
+		r.audit, e = GroupCoverage(audit, mres.RemainingIDs, n, clampTau(tau-r.labeled), r.group)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Settle in universe order, so task accounting and verdicts are
+	// identical to the sequential engine at every parallelism level.
+	for _, r := range unresolved {
+		v := res.Verdicts[r.pattern.Key()]
+		res.ResolutionTasks += r.audit.Tasks
+		total := r.labeled + r.audit.Count
+		if r.audit.Covered {
+			v.Coverage = pattern.Covered
+			v.Bounds = pattern.Bounds{Lo: maxInt(total, v.Bounds.Lo), Hi: v.Bounds.Hi}
+		} else {
+			v.Coverage = pattern.Uncovered
+			v.Bounds = pattern.Bounds{Lo: total, Hi: total}
+		}
+		v.Resolved = true
+		res.Verdicts[r.pattern.Key()] = v
 	}
 
 	// Extract MUPs: uncovered patterns all of whose parents are covered.

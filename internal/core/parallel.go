@@ -19,15 +19,16 @@ import (
 // order-independent oracle the engine is bit-for-bit equivalent to
 // the sequential Algorithm 2 at every parallelism level.
 
-// runBounded runs fn(i) for every index in [0, n) across at most
+// RunBounded runs fn(i) for every index in [0, n) across at most
 // parallelism goroutines and returns the lowest-indexed error among
 // the tasks that ran. Once any task fails, no further tasks are
 // dispatched — every query costs crowd money, so a doomed audit must
 // not keep posting HITs the sequential engine would never pay for.
 // The early stop means that when several tasks would fail, which
 // error surfaces can depend on scheduling; success paths stay fully
-// deterministic.
-func runBounded(parallelism, n int, fn func(i int) error) error {
+// deterministic. Besides the audit engine, the experiment harness
+// reuses this pool to fan independent trials out across workers.
+func RunBounded(parallelism, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -145,7 +146,7 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 
 	// Round 1: every super-group union audit runs across the pool.
 	unionRes := make([]GroupResult, len(plans))
-	err = runBounded(opts.Parallelism, len(plans), func(si int) error {
+	err = RunBounded(opts.Parallelism, len(plans), func(si int) error {
 		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(seeds[si])))
 		var e error
 		unionRes[si], e = GroupCoverage(audit, remaining, n, plans[si].tauPrime, plans[si].union)
@@ -168,7 +169,7 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 		}
 	}
 	subRes := make([]GroupResult, len(jobs))
-	err = runBounded(opts.Parallelism, len(jobs), func(j int) error {
+	err = RunBounded(opts.Parallelism, len(jobs), func(j int) error {
 		job := jobs[j]
 		g := groups[plans[job.si].members[job.mi]]
 		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(mixSeed(seeds[job.si], job.mi))))

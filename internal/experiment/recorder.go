@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Recorder aggregates per-trial wall-clock across every cell (and
+// every engine run) that shares it, so a CLI can report where an
+// experiment's time went and how much the pool amortized. Safe for
+// concurrent use; a nil *Recorder ignores observations.
+type Recorder struct {
+	mu      sync.Mutex
+	cells   map[string]int
+	trials  int
+	total   time.Duration
+	max     time.Duration
+	slowest string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{cells: make(map[string]int)}
+}
+
+// observe folds one finished trial in; nil-safe so the engine can
+// call it unconditionally.
+func (r *Recorder) observe(cell string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cells == nil { // zero-value Recorders work too
+		r.cells = make(map[string]int)
+	}
+	r.cells[cell]++
+	r.trials++
+	r.total += d
+	if d > r.max {
+		r.max = d
+		r.slowest = cell
+	}
+}
+
+// TimingSummary is a point-in-time view of a Recorder.
+type TimingSummary struct {
+	// Cells and Trials count distinct cell names and finished trials.
+	Cells, Trials int
+	// TrialTime is the summed per-trial wall-clock — the sequential
+	// cost; wall-clock below it means the pool paid off.
+	TrialTime time.Duration
+	// MaxTrial is the slowest single trial, in the cell Slowest.
+	MaxTrial time.Duration
+	Slowest  string
+}
+
+// Summary snapshots the recorder.
+func (r *Recorder) Summary() TimingSummary {
+	if r == nil {
+		return TimingSummary{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return TimingSummary{
+		Cells:     len(r.cells),
+		Trials:    r.trials,
+		TrialTime: r.total,
+		MaxTrial:  r.max,
+		Slowest:   r.slowest,
+	}
+}
+
+// Reset clears the tally (between experiments sharing one recorder).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells = make(map[string]int)
+	r.trials = 0
+	r.total = 0
+	r.max = 0
+	r.slowest = ""
+}
+
+// String renders the summary as the one-line report the CLI prints.
+func (s TimingSummary) String() string {
+	if s.Trials == 0 {
+		return "no trials recorded"
+	}
+	return fmt.Sprintf("%d trials / %d cells, trial time %.2fs total, %.2fs max (%s)",
+		s.Trials, s.Cells, s.TrialTime.Seconds(), s.MaxTrial.Seconds(), s.Slowest)
+}

@@ -119,11 +119,62 @@ func (p DisparityPoint) String() string {
 		p.Added, p.AccDisparity, p.LossDisparity, p.OverallAcc, p.UncoveredGroupAcc)
 }
 
-// RunDisparity trains one model per point in addedCounts, repeats
-// times each (different seeds), and returns the averaged series — the
-// procedure behind Figures 6a and 6b. Disparities are measured, as in
+// Trial trains ONE model with added uncovered-group samples per class
+// and measures its disparity — the unit of work behind each Figure 6
+// point, exposed so the experiment harness can schedule repetitions
+// itself. Everything random flows from rng, so a trial is a pure
+// function of (spec, added, seed). Disparities are measured, as in
 // the paper, between a randomly mixed test set and a test set drawn
 // exclusively from the uncovered group.
+func (s DisparitySpec) Trial(added int, rng *rand.Rand) (DisparityPoint, error) {
+	if s.Dim < 4 {
+		return DisparityPoint{}, errors.New("ml: spec needs Dim >= 4")
+	}
+	trainX, trainY := s.genSet(s.BaseTrainPerClass, 0, rng)
+	if added > 0 {
+		gx, gy := s.genSet(added, 1, rng)
+		trainX = append(trainX, gx...)
+		trainY = append(trainY, gy...)
+	}
+	net, err := NewMLP([]int{s.Dim, s.Hidden, 2}, rng)
+	if err != nil {
+		return DisparityPoint{}, err
+	}
+	if _, err := net.Train(trainX, trainY, TrainConfig{
+		Epochs: s.Epochs, BatchSize: s.BatchSize,
+		LearnRate: s.LearnRate, Momentum: s.Momentum, Rng: rng,
+	}); err != nil {
+		return DisparityPoint{}, err
+	}
+	// Random test set: both groups mixed evenly.
+	mixX, mixY := s.genSet(s.TestPerClass/2, 0, rng)
+	gX, gY := s.genSet(s.TestPerClass/2, 1, rng)
+	mixX = append(mixX, gX...)
+	mixY = append(mixY, gY...)
+	mixM, err := net.Evaluate(mixX, mixY)
+	if err != nil {
+		return DisparityPoint{}, err
+	}
+	groupX, groupY := s.genSet(s.TestPerClass, 1, rng)
+	groupM, err := net.Evaluate(groupX, groupY)
+	if err != nil {
+		return DisparityPoint{}, err
+	}
+	return DisparityPoint{
+		Added:             added,
+		AccDisparity:      mixM.Accuracy - groupM.Accuracy,
+		LossDisparity:     groupM.Loss - mixM.Loss,
+		OverallAcc:        mixM.Accuracy,
+		UncoveredGroupAcc: groupM.Accuracy,
+	}, nil
+}
+
+// RunDisparity trains one model per point in addedCounts, repeats
+// times each (different seeds), and returns the averaged series — the
+// procedure behind Figures 6a and 6b. The experiment harness drives
+// Trial directly to parallelize the repetitions; this sequential
+// driver remains for library callers and keeps the same seed
+// derivation (point pi, repeat r runs at seed + 1000*pi + r).
 func RunDisparity(spec DisparitySpec, addedCounts []int, repeats int, seed int64) ([]DisparityPoint, error) {
 	if spec.Dim < 4 {
 		return nil, errors.New("ml: spec needs Dim >= 4")
@@ -136,40 +187,14 @@ func RunDisparity(spec DisparitySpec, addedCounts []int, repeats int, seed int64
 		var acc, loss, overall, grp float64
 		for r := 0; r < repeats; r++ {
 			rng := rand.New(rand.NewSource(seed + int64(1000*pi+r)))
-			trainX, trainY := spec.genSet(spec.BaseTrainPerClass, 0, rng)
-			if added > 0 {
-				gx, gy := spec.genSet(added, 1, rng)
-				trainX = append(trainX, gx...)
-				trainY = append(trainY, gy...)
-			}
-			net, err := NewMLP([]int{spec.Dim, spec.Hidden, 2}, rng)
+			p, err := spec.Trial(added, rng)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := net.Train(trainX, trainY, TrainConfig{
-				Epochs: spec.Epochs, BatchSize: spec.BatchSize,
-				LearnRate: spec.LearnRate, Momentum: spec.Momentum, Rng: rng,
-			}); err != nil {
-				return nil, err
-			}
-			// Random test set: both groups mixed evenly.
-			mixX, mixY := spec.genSet(spec.TestPerClass/2, 0, rng)
-			gX, gY := spec.genSet(spec.TestPerClass/2, 1, rng)
-			mixX = append(mixX, gX...)
-			mixY = append(mixY, gY...)
-			mixM, err := net.Evaluate(mixX, mixY)
-			if err != nil {
-				return nil, err
-			}
-			groupX, groupY := spec.genSet(spec.TestPerClass, 1, rng)
-			groupM, err := net.Evaluate(groupX, groupY)
-			if err != nil {
-				return nil, err
-			}
-			acc += mixM.Accuracy - groupM.Accuracy
-			loss += groupM.Loss - mixM.Loss
-			overall += mixM.Accuracy
-			grp += groupM.Accuracy
+			acc += p.AccDisparity
+			loss += p.LossDisparity
+			overall += p.OverallAcc
+			grp += p.UncoveredGroupAcc
 		}
 		n := float64(repeats)
 		out[pi] = DisparityPoint{

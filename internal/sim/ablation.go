@@ -2,11 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"imagecvg/internal/core"
 	"imagecvg/internal/crowd"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/pattern"
 	"imagecvg/internal/stats"
 )
@@ -47,11 +47,10 @@ func (r *AblationResult) String() string {
 // variants: without the free right-sibling inference, without the
 // checked-based lower bound (counting singletons only), and with both
 // removed. All variants stay correct; the table shows what each
-// design choice buys.
-func RunAblationCore(seed int64, trials int) (*AblationResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+// design choice buys. Cells share seeds across variants (a paired
+// comparison on identical datasets), so only the regime strides the
+// seed.
+func RunAblationCore(o Options) (*AblationResult, error) {
 	const n, tau, setSize = 20_000, 50, 50
 	variants := []struct {
 		name string
@@ -63,28 +62,43 @@ func RunAblationCore(seed int64, trials int) (*AblationResult, error) {
 		{"both removed", core.GroupCoverageOptions{DisableSiblingInference: true, CountSingletonsOnly: true}},
 	}
 	regimes := []int{tau / 2, tau, 4 * tau}
-	res := &AblationResult{N: n, Tau: tau, SetSize: setSize}
-	for _, v := range variants {
-		means := make([]float64, len(regimes))
+
+	type cell struct{ vi, ri int }
+	var cells []cell
+	var cfgs []experiment.Config
+	for vi, v := range variants {
 		for ri, f := range regimes {
-			var tasks []float64
-			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewSource(seed + int64(100*ri+trial)))
-				d, err := dataset.BinaryWithMinority(n, f, rng)
-				if err != nil {
-					return nil, err
-				}
-				g := dataset.Female(d.Schema())
-				r, err := core.GroupCoverageOpt(core.NewTruthOracle(d), d.IDs(), setSize, tau, g, v.opts)
-				if err != nil {
-					return nil, err
-				}
-				if r.Covered != (f >= tau) {
-					return nil, fmt.Errorf("ablation %q broke correctness at f=%d", v.name, f)
-				}
-				tasks = append(tasks, float64(r.Tasks))
+			cells = append(cells, cell{vi, ri})
+			cfgs = append(cfgs, o.cell(fmt.Sprintf("ablation-core/%s/f=%d", v.name, f), int64(100*ri)))
+		}
+	}
+	results, err := experiment.RunMany(cfgs, func(ci int, t experiment.Trial) (float64, error) {
+		v, f := variants[cells[ci].vi], regimes[cells[ci].ri]
+		d, err := dataset.BinaryWithMinority(n, f, t.Rng)
+		if err != nil {
+			return 0, err
+		}
+		g := dataset.Female(d.Schema())
+		r, err := core.GroupCoverageOpt(core.NewTruthOracle(d), d.IDs(), setSize, tau, g, v.opts)
+		if err != nil {
+			return 0, err
+		}
+		if r.Covered != (f >= tau) {
+			return 0, fmt.Errorf("ablation %q broke correctness at f=%d", v.name, f)
+		}
+		return float64(r.Tasks), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{N: n, Tau: tau, SetSize: setSize}
+	for vi, v := range variants {
+		means := make([]float64, len(regimes))
+		for ci, c := range cells {
+			if c.vi == vi {
+				means[c.ri] = results[ci].Mean(func(tasks float64) float64 { return tasks })
 			}
-			means[ri] = stats.Summarize(tasks).Mean
 		}
 		res.Rows = append(res.Rows, AblationRow{
 			Variant:        v.name,
@@ -121,10 +135,7 @@ func (r *SamplingResult) String() string {
 // c = 2 a good choice, and the table shows the tradeoff: too little
 // sampling mis-forms super-groups, too much pays for labels that save
 // nothing.
-func RunAblationSampling(seed int64, trials int) (*SamplingResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunAblationSampling(o Options) (*SamplingResult, error) {
 	const n, tau, setSize = 10_000, 50, 50
 	s := oneAttrSchema(4)
 	groups := pattern.GroupsForAttribute(s, 0)
@@ -139,24 +150,32 @@ func RunAblationSampling(seed int64, trials int) (*SamplingResult, error) {
 		{"c=4", core.MultipleOptions{SampleFactor: 4}},
 		{"c=8", core.MultipleOptions{SampleFactor: 8}},
 	}
+	cfgs := make([]experiment.Config, len(budgets))
+	for bi, b := range budgets {
+		cfgs[bi] = o.cell("ablation-sampling/"+b.label, int64(100*bi))
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (float64, error) {
+		d, err := dataset.FromCounts(s, counts, t.Rng)
+		if err != nil {
+			return 0, err
+		}
+		opts := budgets[cell].opts
+		opts.Rng = t.Rng
+		mres, err := core.MultipleCoverage(core.NewTruthOracle(d), d.IDs(), setSize, tau, groups, opts)
+		if err != nil {
+			return 0, err
+		}
+		return float64(mres.Tasks), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &SamplingResult{}
 	for bi, b := range budgets {
-		var tasks []float64
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(100*bi+trial)))
-			d, err := dataset.FromCounts(s, counts, rng)
-			if err != nil {
-				return nil, err
-			}
-			opts := b.opts
-			opts.Rng = rng
-			mres, err := core.MultipleCoverage(core.NewTruthOracle(d), d.IDs(), setSize, tau, groups, opts)
-			if err != nil {
-				return nil, err
-			}
-			tasks = append(tasks, float64(mres.Tasks))
-		}
-		res.Rows = append(res.Rows, SamplingRow{Label: b.label, Tasks: stats.Summarize(tasks).Mean})
+		res.Rows = append(res.Rows, SamplingRow{
+			Label: b.label,
+			Tasks: results[bi].Mean(func(tasks float64) float64 { return tasks }),
+		})
 	}
 	return res, nil
 }
@@ -183,44 +202,53 @@ func (r *NoiseResult) String() string {
 	return "Extension: robustness to worker noise (FERET slice, tau=n=50, 3-way majority vote)\n" + t.String()
 }
 
+// noiseObs is one crowd deployment's outcome (correct as 0/1 so the
+// mean is the correct-verdict fraction).
+type noiseObs struct {
+	hits, correct float64
+}
+
 // RunNoiseSweep audits the FERET slice through crowds of increasingly
 // unreliable workers (slip rates 0-35 % under 3-way majority vote).
 // The paper observed 1.36 % raw worker error with no flipped
 // verdicts; the sweep shows how far that safety margin extends and
 // where majority voting finally breaks down.
-func RunNoiseSweep(seed int64, trials int) (*NoiseResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunNoiseSweep(o Options) (*NoiseResult, error) {
 	preset := dataset.FERETTable1
-	res := &NoiseResult{}
-	for si, slip := range []float64{0, 0.02, 0.05, 0.10, 0.20, 0.35} {
-		var hits []float64
-		correct := 0
-		for trial := 0; trial < trials; trial++ {
-			trialSeed := seed + int64(100*si+trial)
-			rng := rand.New(rand.NewSource(trialSeed))
-			d := preset.Generate(rng)
-			g := dataset.Female(d.Schema())
-			cfg := crowd.DefaultConfig(trialSeed + 3)
-			cfg.Profile = crowd.PoolProfile{Size: 30, SlipMin: slip, SlipMax: slip, PerceptNoise: 15}
-			platform, err := crowd.NewPlatform(d, cfg)
-			if err != nil {
-				return nil, err
-			}
-			r, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g)
-			if err != nil {
-				return nil, err
-			}
-			hits = append(hits, float64(platform.Ledger().TotalHITs()))
-			if r.Covered { // ground truth: 215 females >= 50
-				correct++
-			}
+	slips := []float64{0, 0.02, 0.05, 0.10, 0.20, 0.35}
+	cfgs := make([]experiment.Config, len(slips))
+	for si, slip := range slips {
+		cfgs[si] = o.cell(fmt.Sprintf("noise-sweep/slip=%.0f%%", 100*slip), int64(100*si))
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (noiseObs, error) {
+		d := preset.Generate(t.Rng)
+		g := dataset.Female(d.Schema())
+		cfg := crowd.DefaultConfig(t.Seed + 3)
+		cfg.Profile = crowd.PoolProfile{Size: 30, SlipMin: slips[cell], SlipMax: slips[cell], PerceptNoise: 15}
+		platform, err := crowd.NewPlatform(d, cfg)
+		if err != nil {
+			return noiseObs{}, err
 		}
+		r, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g)
+		if err != nil {
+			return noiseObs{}, err
+		}
+		obs := noiseObs{hits: float64(platform.Ledger().TotalHITs())}
+		if r.Covered { // ground truth: 215 females >= 50
+			obs.correct = 1
+		}
+		return obs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &NoiseResult{}
+	for si, slip := range slips {
+		r := results[si]
 		res.Rows = append(res.Rows, NoiseRow{
 			SlipRate:        slip,
-			HITs:            stats.Summarize(hits).Mean,
-			CorrectVerdicts: float64(correct) / float64(trials),
+			HITs:            r.Mean(func(v noiseObs) float64 { return v.hits }),
+			CorrectVerdicts: r.Mean(func(v noiseObs) float64 { return v.correct }),
 		})
 	}
 	return res, nil

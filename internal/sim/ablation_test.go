@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunAblationCoreOrdering(t *testing.T) {
-	res, err := RunAblationCore(71, 2)
+	res, err := RunAblationCore(Options{Seed: 71, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRunAblationCoreOrdering(t *testing.T) {
 }
 
 func TestRunAblationSampling(t *testing.T) {
-	res, err := RunAblationSampling(73, 3)
+	res, err := RunAblationSampling(Options{Seed: 73, Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestRunAblationSampling(t *testing.T) {
 }
 
 func TestRunNoiseSweep(t *testing.T) {
-	res, err := RunNoiseSweep(79, 2)
+	res, err := RunNoiseSweep(Options{Seed: 79, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

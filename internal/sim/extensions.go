@@ -2,11 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"imagecvg/internal/core"
 	"imagecvg/internal/crowd"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/stats"
 )
 
@@ -37,49 +37,67 @@ func (r *BaselineResult) String() string {
 		r.N, r.Tau, t.String())
 }
 
+// baselineObs is one trial's exact-vs-sampled comparison.
+type baselineObs struct {
+	gcTasks, smTasks float64
+	decided, correct bool
+}
+
 // RunSamplingBaseline compares Group-Coverage with the statistical
 // estimator (SampledCoverage) across group sizes. Far from the
 // threshold, sampling is cheap but only probabilistic; at f ~ tau it
 // burns its whole budget and still cannot decide — the regime that
 // motivates the paper's exact algorithms.
-func RunSamplingBaseline(seed int64, trials int) (*BaselineResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunSamplingBaseline(o Options) (*BaselineResult, error) {
 	const n, tau = 20_000, 50
+	fs := []int{0, tau / 2, tau, 2 * tau, 10 * tau, 100 * tau}
+	cfgs := make([]experiment.Config, len(fs))
+	for fi, f := range fs {
+		cfgs[fi] = o.cell(fmt.Sprintf("sampling-baseline/f=%d", f), int64(100*fi))
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (baselineObs, error) {
+		f, rng := fs[cell], t.Rng
+		d, err := dataset.BinaryWithMinority(n, f, rng)
+		if err != nil {
+			return baselineObs{}, err
+		}
+		g := dataset.Female(d.Schema())
+		gc, err := core.GroupCoverage(core.NewTruthOracle(d), d.IDs(), 50, tau, g)
+		if err != nil {
+			return baselineObs{}, err
+		}
+		sm, err := core.SampledCoverage(core.NewTruthOracle(d), d.IDs(), tau, 0.05, n/4, g, rng)
+		if err != nil {
+			return baselineObs{}, err
+		}
+		return baselineObs{
+			gcTasks: float64(gc.Tasks),
+			smTasks: float64(sm.Tasks),
+			decided: sm.Decided,
+			correct: sm.Decided && sm.Covered == (f >= tau),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &BaselineResult{N: n, Tau: tau}
-	for fi, f := range []int{0, tau / 2, tau, 2 * tau, 10 * tau, 100 * tau} {
-		var gcTasks, smTasks []float64
+	for fi, f := range fs {
+		r := results[fi]
 		decided, correct := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(100*fi+trial)))
-			d, err := dataset.BinaryWithMinority(n, f, rng)
-			if err != nil {
-				return nil, err
-			}
-			g := dataset.Female(d.Schema())
-			gc, err := core.GroupCoverage(core.NewTruthOracle(d), d.IDs(), 50, tau, g)
-			if err != nil {
-				return nil, err
-			}
-			gcTasks = append(gcTasks, float64(gc.Tasks))
-			sm, err := core.SampledCoverage(core.NewTruthOracle(d), d.IDs(), tau, 0.05, n/4, g, rng)
-			if err != nil {
-				return nil, err
-			}
-			smTasks = append(smTasks, float64(sm.Tasks))
-			if sm.Decided {
+		for _, v := range r.Values() {
+			if v.decided {
 				decided++
-				if sm.Covered == (f >= tau) {
+				if v.correct {
 					correct++
 				}
 			}
 		}
 		row := BaselineRow{
 			Females:        f,
-			GroupTasks:     stats.Summarize(gcTasks).Mean,
-			SampledTasks:   stats.Summarize(smTasks).Mean,
-			SampledDecided: float64(decided) / float64(trials),
+			GroupTasks:     r.Mean(func(v baselineObs) float64 { return v.gcTasks }),
+			SampledTasks:   r.Mean(func(v baselineObs) float64 { return v.smTasks }),
+			SampledDecided: float64(decided) / float64(len(r.Trials)),
 		}
 		if decided > 0 {
 			row.SampledCorrect = float64(correct) / float64(decided)
@@ -118,56 +136,66 @@ func (r *AggregationResult) String() string {
 // reliability-weighted voting. It quantifies how much the paper's
 // redundancy-based quality control can absorb and what the smarter
 // aggregator buys back.
-func RunAggregationComparison(seed int64, trials int) (*AggregationResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunAggregationComparison(o Options) (*AggregationResult, error) {
 	preset := dataset.FERETTable1
+	spams := []float64{0, 0.2, 0.4}
+	type agg struct {
+		name string
+		make func() crowd.Aggregator
+	}
+	aggs := []agg{
+		{"majority vote", func() crowd.Aggregator { return crowd.MajorityVote{} }},
+		{"weighted vote", func() crowd.Aggregator { return crowd.NewWeightedVote(0.8) }},
+	}
+	type cell struct{ si, ai int }
+	var cells []cell
+	var cfgs []experiment.Config
+	for si := range spams {
+		for ai := range aggs {
+			cells = append(cells, cell{si, ai})
+			cfgs = append(cfgs, o.cell(
+				fmt.Sprintf("aggregation/spam=%.0f%%/%s", 100*spams[si], aggs[ai].name),
+				int64(10_000*si+100*ai)))
+		}
+	}
+	results, err := experiment.RunMany(cfgs, func(ci int, t experiment.Trial) (noiseObs, error) {
+		spam, a := spams[cells[ci].si], aggs[cells[ci].ai]
+		d := preset.Generate(t.Rng)
+		g := dataset.Female(d.Schema())
+		cfg := crowd.DefaultConfig(t.Seed + 5)
+		cfg.Assignments = 5
+		cfg.Aggregator = a.make()
+		cfg.Profile = crowd.PoolProfile{
+			Size: 40, SlipMin: 0.005, SlipMax: 0.02,
+			PerceptNoise: 15, SpammerFraction: spam,
+		}
+		platform, err := crowd.NewPlatform(d, cfg)
+		if err != nil {
+			return noiseObs{}, err
+		}
+		r, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g)
+		if err != nil {
+			return noiseObs{}, err
+		}
+		obs := noiseObs{hits: float64(platform.Ledger().TotalHITs())}
+		if r.Covered {
+			obs.correct = 1
+		}
+		return obs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &AggregationResult{}
-	for si, spam := range []float64{0, 0.2, 0.4} {
-		type agg struct {
-			name string
-			make func() crowd.Aggregator
-		}
-		aggs := []agg{
-			{"majority vote", func() crowd.Aggregator { return crowd.MajorityVote{} }},
-			{"weighted vote", func() crowd.Aggregator { return crowd.NewWeightedVote(0.8) }},
-		}
-		for ai, a := range aggs {
-			var hits []float64
-			correct := 0
-			for trial := 0; trial < trials; trial++ {
-				trialSeed := seed + int64(10_000*si+100*ai+trial)
-				rng := rand.New(rand.NewSource(trialSeed))
-				d := preset.Generate(rng)
-				g := dataset.Female(d.Schema())
-				cfg := crowd.DefaultConfig(trialSeed + 5)
-				cfg.Assignments = 5
-				cfg.Aggregator = a.make()
-				cfg.Profile = crowd.PoolProfile{
-					Size: 40, SlipMin: 0.005, SlipMax: 0.02,
-					PerceptNoise: 15, SpammerFraction: spam,
-				}
-				platform, err := crowd.NewPlatform(d, cfg)
-				if err != nil {
-					return nil, err
-				}
-				r, err := core.GroupCoverage(platform, d.IDs(), 50, 50, g)
-				if err != nil {
-					return nil, err
-				}
-				hits = append(hits, float64(platform.Ledger().TotalHITs()))
-				if r.Covered {
-					correct++
-				}
-			}
-			res.Rows = append(res.Rows, AggregationRow{
-				SpammerFraction: spam,
-				Aggregator:      a.name,
-				CorrectVerdicts: float64(correct) / float64(trials),
-				HITs:            stats.Summarize(hits).Mean,
-			})
-		}
+	for ci, c := range cells {
+		r := results[ci]
+		res.Rows = append(res.Rows, AggregationRow{
+			SpammerFraction: spams[c.si],
+			Aggregator:      aggs[c.ai].name,
+			CorrectVerdicts: r.Mean(func(v noiseObs) float64 { return v.correct }),
+			HITs:            r.Mean(func(v noiseObs) float64 { return v.hits }),
+		})
 	}
 	return res, nil
 }

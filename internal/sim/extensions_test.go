@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunSamplingBaselineShape(t *testing.T) {
-	res, err := RunSamplingBaseline(83, 2)
+	res, err := RunSamplingBaseline(Options{Seed: 83, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRunSamplingBaselineShape(t *testing.T) {
 }
 
 func TestRunAggregationComparison(t *testing.T) {
-	res, err := RunAggregationComparison(89, 2)
+	res, err := RunAggregationComparison(Options{Seed: 89, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

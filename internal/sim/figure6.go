@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/ml"
 	"imagecvg/internal/stats"
 )
@@ -32,32 +33,47 @@ func (r *Figure6Result) String() string {
 // samples per class, in steps of 20.
 func figure6Added() []int { return []int{0, 20, 40, 60, 80, 100} }
 
-// RunFigure6a reproduces Figure 6a: a CNN-style drowsiness detector
-// trained without spectacled subjects shows a large accuracy/loss
-// disparity on them, which shrinks as spectacled samples are added
-// back. The paper repeats each point on 10 regenerated datasets;
-// trials plays that role here.
-func RunFigure6a(seed int64, trials int) (*Figure6Result, error) {
-	if trials <= 0 {
-		trials = 1
+// runFigure6 reproduces one Figure 6 series on the trial-runner: one
+// cell per added-samples point, each trial training one model from
+// the trial seed (the paper repeats each point on 10 regenerated
+// datasets; o.Trials plays that role), averaged per point.
+func runFigure6(name string, spec ml.DisparitySpec, o Options) (*Figure6Result, error) {
+	added := figure6Added()
+	cfgs := make([]experiment.Config, len(added))
+	for pi, a := range added {
+		cfgs[pi] = o.cell(fmt.Sprintf("%s/added=%d", spec.Name, a), int64(1000*pi))
 	}
-	points, err := ml.RunDisparity(ml.DrowsinessSpec(), figure6Added(), trials, seed)
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (ml.DisparityPoint, error) {
+		return spec.Trial(added[cell], t.Rng)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Figure6Result{Name: "drowsiness detection (spectacled subjects uncovered)", Points: points}, nil
+	res := &Figure6Result{Name: name}
+	for pi, a := range added {
+		r := results[pi]
+		res.Points = append(res.Points, ml.DisparityPoint{
+			Added:             a,
+			AccDisparity:      r.Mean(func(p ml.DisparityPoint) float64 { return p.AccDisparity }),
+			LossDisparity:     r.Mean(func(p ml.DisparityPoint) float64 { return p.LossDisparity }),
+			OverallAcc:        r.Mean(func(p ml.DisparityPoint) float64 { return p.OverallAcc }),
+			UncoveredGroupAcc: r.Mean(func(p ml.DisparityPoint) float64 { return p.UncoveredGroupAcc }),
+		})
+	}
+	return res, nil
+}
+
+// RunFigure6a reproduces Figure 6a: a CNN-style drowsiness detector
+// trained without spectacled subjects shows a large accuracy/loss
+// disparity on them, which shrinks as spectacled samples are added
+// back.
+func RunFigure6a(o Options) (*Figure6Result, error) {
+	return runFigure6("drowsiness detection (spectacled subjects uncovered)", ml.DrowsinessSpec(), o)
 }
 
 // RunFigure6b reproduces Figure 6b: a gender detector trained on
 // Caucasian-only data shows a small but systematic disparity on Black
 // subjects, again shrinking with added coverage.
-func RunFigure6b(seed int64, trials int) (*Figure6Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
-	points, err := ml.RunDisparity(ml.GenderSpec(), figure6Added(), trials, seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure6Result{Name: "gender detection (Black subjects uncovered)", Points: points}, nil
+func RunFigure6b(o Options) (*Figure6Result, error) {
+	return runFigure6("gender detection (Black subjects uncovered)", ml.GenderSpec(), o)
 }

@@ -2,10 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"imagecvg/internal/core"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/stats"
 )
 
@@ -53,55 +53,74 @@ func (r *Figure7Result) String() string {
 	return fmt.Sprintf("Figure 7 (%s)\n%s", r.Name, t.String())
 }
 
-// sweepPoint measures mean task counts at one parameter setting.
-func sweepPoint(x, n, females, tau, setSize int, withBase bool, seed int64, trials int) (Figure7Point, error) {
-	var gc, base, covered []float64
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(seed + int64(trial)))
-		d, err := dataset.BinaryWithMinority(n, females, rng)
+// figure7Cell is one x-axis position's workload: the dataset size and
+// composition, the audit parameters, and the cell's seed offset.
+type figure7Cell struct {
+	x, n, females, tau, setSize int
+	seedOffset                  int64
+}
+
+// figure7Obs is one trial's task counts (covered as 0/1 so the mean
+// is the covered fraction).
+type figure7Obs struct {
+	gc, base, covered float64
+}
+
+// runFigure7Sweep drives one sweep series on the trial-runner: every
+// (point, trial) pair is an independent job over the shared pool, so
+// big points no longer serialize behind small ones.
+func runFigure7Sweep(id string, cells []figure7Cell, withBase bool, o Options) ([]Figure7Point, error) {
+	cfgs := make([]experiment.Config, len(cells))
+	for i, c := range cells {
+		cfgs[i] = o.cell(fmt.Sprintf("%s/x=%d", id, c.x), c.seedOffset)
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (figure7Obs, error) {
+		c := cells[cell]
+		d, err := dataset.BinaryWithMinority(c.n, c.females, t.Rng)
 		if err != nil {
-			return Figure7Point{}, err
+			return figure7Obs{}, err
 		}
 		g := dataset.Female(d.Schema())
-		o := core.NewTruthOracle(d)
-		res, err := core.GroupCoverage(o, d.IDs(), setSize, tau, g)
+		res, err := core.GroupCoverage(core.NewTruthOracle(d), d.IDs(), c.setSize, c.tau, g)
 		if err != nil {
-			return Figure7Point{}, err
+			return figure7Obs{}, err
 		}
-		gc = append(gc, float64(res.Tasks))
+		obs := figure7Obs{gc: float64(res.Tasks)}
 		if res.Covered {
-			covered = append(covered, 1)
-		} else {
-			covered = append(covered, 0)
+			obs.covered = 1
 		}
 		if withBase {
-			ob := core.NewTruthOracle(d)
-			b, err := core.BaseCoverage(ob, d.IDs(), tau, g)
+			b, err := core.BaseCoverage(core.NewTruthOracle(d), d.IDs(), c.tau, g)
 			if err != nil {
-				return Figure7Point{}, err
+				return figure7Obs{}, err
 			}
-			base = append(base, float64(b.Tasks))
+			obs.base = float64(b.Tasks)
+		}
+		return obs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Figure7Point, len(cells))
+	for i, c := range cells {
+		r := results[i]
+		points[i] = Figure7Point{
+			X:               c.x,
+			GroupCoverage:   r.Mean(func(v figure7Obs) float64 { return v.gc }),
+			UpperBound:      core.UpperBoundHITs(c.n, c.setSize, c.tau),
+			CoveredFraction: r.Mean(func(v figure7Obs) float64 { return v.covered }),
+		}
+		if withBase {
+			points[i].BaseCoverage = r.Mean(func(v figure7Obs) float64 { return v.base })
 		}
 	}
-	p := Figure7Point{
-		X:               x,
-		GroupCoverage:   stats.Summarize(gc).Mean,
-		UpperBound:      core.UpperBoundHITs(n, setSize, tau),
-		CoveredFraction: stats.Summarize(covered).Mean,
-	}
-	if withBase {
-		p.BaseCoverage = stats.Summarize(base).Mean
-	}
-	return p, nil
+	return points, nil
 }
 
 // RunFigure7a reproduces Figure 7a: the number of tasks as the number
 // of group members f varies over [0, 2*tau]. Cost peaks at f close to
 // tau and falls off on both sides.
-func RunFigure7a(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7a(p Figure7Params, o Options) (*Figure7Result, error) {
 	res := &Figure7Result{
 		Name:    fmt.Sprintf("varying #females, N=%d tau=%d n=%d", p.N, p.Tau, p.SetSize),
 		XLabel:  "females f",
@@ -111,80 +130,88 @@ func RunFigure7a(p Figure7Params, seed int64, trials int) (*Figure7Result, error
 	if step < 1 {
 		step = 1
 	}
+	var cells []figure7Cell
 	for f := 0; f <= 2*p.Tau; f += step {
-		pt, err := sweepPoint(f, p.N, f, p.Tau, p.SetSize, p.BaseCoverage, seed+int64(f)*101, trials)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, pt)
+		cells = append(cells, figure7Cell{
+			x: f, n: p.N, females: f, tau: p.Tau, setSize: p.SetSize,
+			seedOffset: int64(f) * 101,
+		})
 	}
+	points, err := runFigure7Sweep("figure7a", cells, p.BaseCoverage, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 
 // RunFigure7b reproduces Figure 7b: tasks as tau varies with exactly
 // f = tau group members — the worst case, which hugs the upper bound
 // and grows linearly in tau.
-func RunFigure7b(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7b(p Figure7Params, o Options) (*Figure7Result, error) {
 	res := &Figure7Result{
 		Name:    fmt.Sprintf("varying coverage threshold, N=%d n=%d, f=tau", p.N, p.SetSize),
 		XLabel:  "tau",
 		HasBase: p.BaseCoverage,
 	}
-	taus := []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-	for _, tau := range taus {
-		pt, err := sweepPoint(tau, p.N, tau, tau, p.SetSize, p.BaseCoverage, seed+int64(tau)*211, trials)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, pt)
+	var cells []figure7Cell
+	for _, tau := range []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		cells = append(cells, figure7Cell{
+			x: tau, n: p.N, females: tau, tau: tau, setSize: p.SetSize,
+			seedOffset: int64(tau) * 211,
+		})
 	}
+	points, err := runFigure7Sweep("figure7b", cells, p.BaseCoverage, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 
 // RunFigure7c reproduces Figure 7c: tasks as the set-size bound n
 // varies; the jump below n~20 and the flat logarithmic tail above it.
-func RunFigure7c(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7c(p Figure7Params, o Options) (*Figure7Result, error) {
 	res := &Figure7Result{
 		Name:    fmt.Sprintf("varying subset size, N=%d tau=%d, f=tau", p.N, p.Tau),
 		XLabel:  "set size n",
 		HasBase: p.BaseCoverage,
 	}
-	sizes := []int{1, 2, 5, 10, 20, 50, 100, 200, 300, 400}
-	for _, n := range sizes {
-		pt, err := sweepPoint(n, p.N, p.Tau, p.Tau, n, p.BaseCoverage, seed+int64(n)*307, trials)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, pt)
+	var cells []figure7Cell
+	for _, n := range []int{1, 2, 5, 10, 20, 50, 100, 200, 300, 400} {
+		cells = append(cells, figure7Cell{
+			x: n, n: p.N, females: p.Tau, tau: p.Tau, setSize: n,
+			seedOffset: int64(n) * 307,
+		})
 	}
+	points, err := runFigure7Sweep("figure7c", cells, p.BaseCoverage, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 
 // RunFigure7d reproduces Figure 7d: tasks as the dataset size N grows
 // from 1K to 1M with f = tau; growth is linear and stays below 6 % of
 // N.
-func RunFigure7d(p Figure7Params, seed int64, trials int) (*Figure7Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7d(p Figure7Params, o Options) (*Figure7Result, error) {
 	res := &Figure7Result{
 		Name:    fmt.Sprintf("varying dataset size, tau=%d n=%d, f=tau", p.Tau, p.SetSize),
 		XLabel:  "dataset size N",
 		HasBase: p.BaseCoverage,
 	}
-	sizes := []int{1_000, 10_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
-	for _, n := range sizes {
-		pt, err := sweepPoint(n, n, p.Tau, p.Tau, p.SetSize, p.BaseCoverage, seed+int64(n), trials)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, pt)
+	var cells []figure7Cell
+	for _, n := range []int{1_000, 10_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000} {
+		cells = append(cells, figure7Cell{
+			x: n, n: n, females: p.Tau, tau: p.Tau, setSize: p.SetSize,
+			seedOffset: int64(n),
+		})
 	}
+	points, err := runFigure7Sweep("figure7d", cells, p.BaseCoverage, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }

@@ -2,10 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"imagecvg/internal/core"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/pattern"
 	"imagecvg/internal/stats"
 )
@@ -134,47 +134,100 @@ func bruteForceTasks(d *dataset.Dataset, groups []pattern.Group, setSize, tau in
 	return total, nil
 }
 
+// multiObs is one trial's heuristic-vs-brute-force task pair.
+type multiObs struct {
+	heur, brute float64
+}
+
+// multiCell is one bar of a Figure 7e-7h comparison: the schema, the
+// groups under audit (nil means all fully-specified subgroups via
+// Intersectional-Coverage), the composition, and the seed offset.
+type multiCell struct {
+	setting    string
+	schema     *pattern.Schema
+	groups     []pattern.Group // nil: intersectional over the schema
+	counts     []int
+	seedOffset int64
+}
+
+// runMultiCells drives a multi-group comparison on the trial-runner:
+// each trial generates the cell's dataset from the trial seed, runs
+// the heuristic (Multiple- or Intersectional-Coverage, itself on the
+// concurrent audit engine at p.Parallelism), and prices the brute
+// force baseline on the same data.
+func runMultiCells(id string, cells []multiCell, p MultiParams, o Options) ([]MultiRow, error) {
+	cfgs := make([]experiment.Config, len(cells))
+	for i, c := range cells {
+		cfgs[i] = o.cell(id+"/"+c.setting, c.seedOffset)
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (multiObs, error) {
+		c, rng := cells[cell], t.Rng
+		d, err := dataset.FromCounts(c.schema, c.counts, rng)
+		if err != nil {
+			return multiObs{}, err
+		}
+		oracle := core.NewTruthOracle(d)
+		opts := core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism}
+		var heurTasks int
+		bruteGroups := c.groups
+		if c.groups == nil {
+			ires, err := core.IntersectionalCoverage(oracle, d.IDs(), p.SetSize, p.Tau, c.schema, opts)
+			if err != nil {
+				return multiObs{}, err
+			}
+			heurTasks = ires.Tasks
+			bruteGroups = pattern.SubgroupGroups(c.schema)
+		} else {
+			mres, err := core.MultipleCoverage(oracle, d.IDs(), p.SetSize, p.Tau, c.groups, opts)
+			if err != nil {
+				return multiObs{}, err
+			}
+			heurTasks = mres.Tasks
+		}
+		bt, err := bruteForceTasks(d, bruteGroups, p.SetSize, p.Tau)
+		if err != nil {
+			return multiObs{}, err
+		}
+		return multiObs{heur: float64(heurTasks), brute: float64(bt)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MultiRow, len(cells))
+	for i, c := range cells {
+		r := results[i]
+		rows[i] = MultiRow{
+			Setting:        c.setting,
+			HeuristicTasks: r.Mean(func(v multiObs) float64 { return v.heur }),
+			BruteTasks:     r.Mean(func(v multiObs) float64 { return v.brute }),
+		}
+	}
+	return rows, nil
+}
+
 // RunFigure7e reproduces Figure 7e: Multiple-Coverage against brute
 // force for one attribute with sigma = 4 groups under the Table 3
 // settings.
-func RunFigure7e(p MultiParams, seed int64, trials int) (*MultiResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7e(p MultiParams, o Options) (*MultiResult, error) {
 	s := oneAttrSchema(4)
 	groups := pattern.GroupsForAttribute(s, 0)
-	res := &MultiResult{
-		Name:      fmt.Sprintf("multiple non-intersectional groups, sigma=4, N=%d tau=%d", p.N, p.Tau),
-		Heuristic: "Multiple-Coverage",
-	}
+	var cells []multiCell
 	for si, setting := range Table3Settings() {
-		var heur, brute []float64
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(1000*si+trial)))
-			d, err := dataset.FromCounts(s, buildCounts(4, p.N, setting.MinorityCounts), rng)
-			if err != nil {
-				return nil, err
-			}
-			o := core.NewTruthOracle(d)
-			mres, err := core.MultipleCoverage(o, d.IDs(), p.SetSize, p.Tau, groups,
-				core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
-			if err != nil {
-				return nil, err
-			}
-			heur = append(heur, float64(mres.Tasks))
-			bt, err := bruteForceTasks(d, groups, p.SetSize, p.Tau)
-			if err != nil {
-				return nil, err
-			}
-			brute = append(brute, float64(bt))
-		}
-		res.Rows = append(res.Rows, MultiRow{
-			Setting:        setting.Name,
-			HeuristicTasks: stats.Summarize(heur).Mean,
-			BruteTasks:     stats.Summarize(brute).Mean,
+		cells = append(cells, multiCell{
+			setting: setting.Name, schema: s, groups: groups,
+			counts:     buildCounts(4, p.N, setting.MinorityCounts),
+			seedOffset: int64(1000 * si),
 		})
 	}
-	return res, nil
+	rows, err := runMultiCells("figure7e", cells, p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiResult{
+		Name:      fmt.Sprintf("multiple non-intersectional groups, sigma=4, N=%d tau=%d", p.N, p.Tau),
+		Heuristic: "Multiple-Coverage",
+		Rows:      rows,
+	}, nil
 }
 
 // threeBinary is the (2,2,2) schema of Figures 7f and 7h.
@@ -214,105 +267,58 @@ func intersectionalCounts(numSubgroups, n int, minorities []int) []int {
 	return counts
 }
 
-// intersectionalTrial runs Intersectional-Coverage once and its brute
-// force counterpart (independent Group-Coverage per fully-specified
-// subgroup) on the same dataset.
-func intersectionalTrial(s *pattern.Schema, counts []int, p MultiParams, rng *rand.Rand) (heur, brute int, err error) {
-	d, err := dataset.FromCounts(s, counts, rng)
-	if err != nil {
-		return 0, 0, err
-	}
-	o := core.NewTruthOracle(d)
-	ires, err := core.IntersectionalCoverage(o, d.IDs(), p.SetSize, p.Tau, s,
-		core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
-	if err != nil {
-		return 0, 0, err
-	}
-	bt, err := bruteForceTasks(d, pattern.SubgroupGroups(s), p.SetSize, p.Tau)
-	if err != nil {
-		return 0, 0, err
-	}
-	return ires.Tasks, bt, nil
-}
-
 // RunFigure7f reproduces Figure 7f: Intersectional-Coverage against
 // brute force on three binary attributes under the Table 3 settings.
-func RunFigure7f(p MultiParams, seed int64, trials int) (*MultiResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+func RunFigure7f(p MultiParams, o Options) (*MultiResult, error) {
 	s := threeBinary()
-	res := &MultiResult{
-		Name:      fmt.Sprintf("intersectional groups, (2,2,2), N=%d tau=%d", p.N, p.Tau),
-		Heuristic: "Intersectional-Coverage",
-	}
+	var cells []multiCell
 	for si, setting := range Table3Settings() {
-		var heur, brute []float64
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(2000*si+trial)))
-			h, b, err := intersectionalTrial(s, intersectionalCounts(s.NumSubgroups(), p.N, setting.MinorityCounts), p, rng)
-			if err != nil {
-				return nil, err
-			}
-			heur = append(heur, float64(h))
-			brute = append(brute, float64(b))
-		}
-		res.Rows = append(res.Rows, MultiRow{
-			Setting:        setting.Name,
-			HeuristicTasks: stats.Summarize(heur).Mean,
-			BruteTasks:     stats.Summarize(brute).Mean,
+		cells = append(cells, multiCell{
+			setting: setting.Name, schema: s,
+			counts:     intersectionalCounts(s.NumSubgroups(), p.N, setting.MinorityCounts),
+			seedOffset: int64(2000 * si),
 		})
 	}
-	return res, nil
+	rows, err := runMultiCells("figure7f", cells, p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiResult{
+		Name:      fmt.Sprintf("intersectional groups, (2,2,2), N=%d tau=%d", p.N, p.Tau),
+		Heuristic: "Intersectional-Coverage",
+		Rows:      rows,
+	}, nil
 }
 
 // RunFigure7g reproduces Figure 7g: Multiple-Coverage against brute
 // force as the attribute cardinality grows from 3 to 6, in the
 // effective regime (all minorities rare, joint super-group uncovered).
 // The gap to brute force widens with cardinality.
-func RunFigure7g(p MultiParams, seed int64, trials int) (*MultiResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
-	res := &MultiResult{
-		Name:      fmt.Sprintf("multiple groups vs cardinality, N=%d tau=%d", p.N, p.Tau),
-		Heuristic: "Multiple-Coverage",
-	}
+func RunFigure7g(p MultiParams, o Options) (*MultiResult, error) {
+	var cells []multiCell
 	for _, sigma := range []int{3, 4, 5, 6} {
 		s := oneAttrSchema(sigma)
-		groups := pattern.GroupsForAttribute(s, 0)
 		// sigma-1 rare minorities whose total stays below tau.
 		minorities := make([]int, sigma-1)
 		for i := range minorities {
 			minorities[i] = 30 / (sigma - 1)
 		}
-		var heur, brute []float64
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(3000*sigma+trial)))
-			d, err := dataset.FromCounts(s, buildCounts(sigma, p.N, minorities), rng)
-			if err != nil {
-				return nil, err
-			}
-			o := core.NewTruthOracle(d)
-			mres, err := core.MultipleCoverage(o, d.IDs(), p.SetSize, p.Tau, groups,
-				core.MultipleOptions{Rng: rng, Parallelism: p.Parallelism})
-			if err != nil {
-				return nil, err
-			}
-			heur = append(heur, float64(mres.Tasks))
-			bt, err := bruteForceTasks(d, groups, p.SetSize, p.Tau)
-			if err != nil {
-				return nil, err
-			}
-			brute = append(brute, float64(bt))
-		}
-		res.Rows = append(res.Rows, MultiRow{
-			Setting:        fmt.Sprintf("sigma=%d", sigma),
-			HeuristicTasks: stats.Summarize(heur).Mean,
-			BruteTasks:     stats.Summarize(brute).Mean,
+		cells = append(cells, multiCell{
+			setting: fmt.Sprintf("sigma=%d", sigma), schema: s,
+			groups:     pattern.GroupsForAttribute(s, 0),
+			counts:     buildCounts(sigma, p.N, minorities),
+			seedOffset: int64(3000 * sigma),
 		})
 	}
-	return res, nil
+	rows, err := runMultiCells("figure7g", cells, p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiResult{
+		Name:      fmt.Sprintf("multiple groups vs cardinality, N=%d tau=%d", p.N, p.Tau),
+		Heuristic: "Multiple-Coverage",
+		Rows:      rows,
+	}, nil
 }
 
 // RunFigure7h reproduces Figure 7h: Intersectional-Coverage on two
@@ -320,14 +326,7 @@ func RunFigure7g(p MultiParams, seed int64, trials int) (*MultiResult, error) {
 // (2,4) and (2,2,2) — under identical compositions. As in the paper,
 // only the product of cardinalities matters, so the two settings land
 // close together.
-func RunFigure7h(p MultiParams, seed int64, trials int) (*MultiResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
-	res := &MultiResult{
-		Name:      fmt.Sprintf("intersectional schemas with 8 subgroups, N=%d tau=%d", p.N, p.Tau),
-		Heuristic: "Intersectional-Coverage",
-	}
+func RunFigure7h(p MultiParams, o Options) (*MultiResult, error) {
 	minorities := []int{10, 8, 6}
 	schemas := []struct {
 		name string
@@ -336,22 +335,21 @@ func RunFigure7h(p MultiParams, seed int64, trials int) (*MultiResult, error) {
 		{"sigma1=2, sigma2=4", twoByFour()},
 		{"sigma1=2, sigma2=2, sigma3=2", threeBinary()},
 	}
+	var cells []multiCell
 	for si, sc := range schemas {
-		var heur, brute []float64
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(4000*si+trial)))
-			h, b, err := intersectionalTrial(sc.s, intersectionalCounts(sc.s.NumSubgroups(), p.N, minorities), p, rng)
-			if err != nil {
-				return nil, err
-			}
-			heur = append(heur, float64(h))
-			brute = append(brute, float64(b))
-		}
-		res.Rows = append(res.Rows, MultiRow{
-			Setting:        sc.name,
-			HeuristicTasks: stats.Summarize(heur).Mean,
-			BruteTasks:     stats.Summarize(brute).Mean,
+		cells = append(cells, multiCell{
+			setting: sc.name, schema: sc.s,
+			counts:     intersectionalCounts(sc.s.NumSubgroups(), p.N, minorities),
+			seedOffset: int64(4000 * si),
 		})
 	}
-	return res, nil
+	rows, err := runMultiCells("figure7h", cells, p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiResult{
+		Name:      fmt.Sprintf("intersectional schemas with 8 subgroups, N=%d tau=%d", p.N, p.Tau),
+		Heuristic: "Intersectional-Coverage",
+		Rows:      rows,
+	}, nil
 }

@@ -7,8 +7,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (2 tables + 2 fig6 + 8 fig7 + 5 extensions)", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (2 tables + 2 fig6 + 8 fig7 + 6 extensions)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -34,7 +34,7 @@ func TestRunTable1ShapeMatchesPaper(t *testing.T) {
 	// quality-control settings. The paper's shape: Group-Coverage in
 	// the 60-90 HIT range, Base-Coverage in the 250-450 range, upper
 	// bound 115, all runs agreeing the female group is covered.
-	res, err := RunTable1(DefaultTable1Params(), 17, 1)
+	res, err := RunTable1(DefaultTable1Params(), Options{Seed: 17, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestRunTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestRunTable2ShapeMatchesPaper(t *testing.T) {
-	res, err := RunTable2(23, 1)
+	res, err := RunTable2(Options{Seed: 23, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestRunTable2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestRunFigure6aShape(t *testing.T) {
-	res, err := RunFigure6a(29, 1)
+	res, err := RunFigure6a(Options{Seed: 29, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +146,11 @@ func TestRunFigure6aShape(t *testing.T) {
 }
 
 func TestRunFigure6bSmallerThan6a(t *testing.T) {
-	a, err := RunFigure6a(31, 1)
+	a, err := RunFigure6a(Options{Seed: 31, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunFigure6b(31, 1)
+	b, err := RunFigure6b(Options{Seed: 31, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func smallFigure7Params() Figure7Params {
 
 func TestRunFigure7aPeaksNearTau(t *testing.T) {
 	p := smallFigure7Params()
-	res, err := RunFigure7a(p, 37, 2)
+	res, err := RunFigure7a(p, Options{Seed: 37, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestRunFigure7aPeaksNearTau(t *testing.T) {
 
 func TestRunFigure7bLinearInTau(t *testing.T) {
 	p := smallFigure7Params()
-	res, err := RunFigure7b(p, 41, 2)
+	res, err := RunFigure7b(p, Options{Seed: 41, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestRunFigure7bLinearInTau(t *testing.T) {
 
 func TestRunFigure7cLogarithmicKnee(t *testing.T) {
 	p := smallFigure7Params()
-	res, err := RunFigure7c(p, 43, 2)
+	res, err := RunFigure7c(p, Options{Seed: 43, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestRunFigure7cLogarithmicKnee(t *testing.T) {
 func TestRunFigure7dLinearAndUnder6Percent(t *testing.T) {
 	p := smallFigure7Params()
 	p.BaseCoverage = false // keep the large-N test quick
-	res, err := RunFigure7d(p, 47, 1)
+	res, err := RunFigure7d(p, Options{Seed: 47, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestRunFigure7dLinearAndUnder6Percent(t *testing.T) {
 }
 
 func TestRunFigure7eTable3Shapes(t *testing.T) {
-	res, err := RunFigure7e(DefaultMultiParams(), 53, 3)
+	res, err := RunFigure7e(DefaultMultiParams(), Options{Seed: 53, Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestRunFigure7eTable3Shapes(t *testing.T) {
 }
 
 func TestRunFigure7fIntersectionalShapes(t *testing.T) {
-	res, err := RunFigure7f(DefaultMultiParams(), 59, 2)
+	res, err := RunFigure7f(DefaultMultiParams(), Options{Seed: 59, Trials: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestRunFigure7fIntersectionalShapes(t *testing.T) {
 }
 
 func TestRunFigure7gGapGrowsWithCardinality(t *testing.T) {
-	res, err := RunFigure7g(DefaultMultiParams(), 61, 3)
+	res, err := RunFigure7g(DefaultMultiParams(), Options{Seed: 61, Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestRunFigure7gGapGrowsWithCardinality(t *testing.T) {
 }
 
 func TestRunFigure7hSchemasAgree(t *testing.T) {
-	res, err := RunFigure7h(DefaultMultiParams(), 67, 3)
+	res, err := RunFigure7h(DefaultMultiParams(), Options{Seed: 67, Trials: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

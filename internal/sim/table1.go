@@ -3,11 +3,11 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"imagecvg/internal/core"
 	"imagecvg/internal/crowd"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/stats"
 )
 
@@ -71,56 +71,70 @@ func table1Settings() []struct {
 	}
 }
 
+// table1Obs is one crowd deployment's outcome.
+type table1Obs struct {
+	gcHITs, baseHITs, cost float64
+	covered                bool
+}
+
 // RunTable1 reproduces Table 1: female-coverage identification on the
 // FERET slice through the full crowd simulator (imperfect workers,
 // 3-way majority vote, fixed pricing), one row per quality-control
-// setting, averaged over trials independent crowd deployments.
-func RunTable1(p Table1Params, seed int64, trials int) (*Table1Result, error) {
-	if trials <= 0 {
-		trials = 1
+// setting, averaged over o.Trials independent crowd deployments
+// scheduled on the trial-runner.
+func RunTable1(p Table1Params, o Options) (*Table1Result, error) {
+	settings := table1Settings()
+	cfgs := make([]experiment.Config, len(settings))
+	for si, setting := range settings {
+		cfgs[si] = o.cell("table1/"+setting.name, int64(1000*si))
 	}
-	res := &Table1Result{Params: p}
-	for si, setting := range table1Settings() {
-		var gcHITs, baseHITs, cost []float64
-		covered := true
-		for trial := 0; trial < trials; trial++ {
-			trialSeed := seed + int64(1000*si+trial)
-			rng := rand.New(rand.NewSource(trialSeed))
-			d := p.Preset.Generate(rng)
-			g := dataset.Female(d.Schema())
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (table1Obs, error) {
+		setting := settings[cell]
+		d := p.Preset.Generate(t.Rng)
+		g := dataset.Female(d.Schema())
 
-			cfg := crowd.DefaultConfig(trialSeed + 7)
-			cfg.Profile = crowd.DefaultProfile(p.PoolSize)
-			cfg.Qualification = setting.qualification
-			cfg.Rating = setting.rating
-			platform, err := crowd.NewPlatform(d, cfg)
-			if err != nil {
-				return nil, err
-			}
-			gc, err := core.GroupCoverage(platform, d.IDs(), p.SetSize, p.Tau, g)
-			if err != nil {
-				return nil, err
-			}
-			gcHITs = append(gcHITs, float64(platform.Ledger().TotalHITs()))
-			cost = append(cost, platform.Ledger().TotalCost())
-			covered = covered && gc.Covered
-
-			basePlatform, err := crowd.NewPlatform(d, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := core.BaseCoverage(basePlatform, d.IDs(), p.Tau, g); err != nil {
-				return nil, err
-			}
-			baseHITs = append(baseHITs, float64(basePlatform.Ledger().TotalHITs()))
+		cfg := crowd.DefaultConfig(t.Seed + 7)
+		cfg.Profile = crowd.DefaultProfile(p.PoolSize)
+		cfg.Qualification = setting.qualification
+		cfg.Rating = setting.rating
+		platform, err := crowd.NewPlatform(d, cfg)
+		if err != nil {
+			return table1Obs{}, err
 		}
+		gc, err := core.GroupCoverage(platform, d.IDs(), p.SetSize, p.Tau, g)
+		if err != nil {
+			return table1Obs{}, err
+		}
+		obs := table1Obs{
+			gcHITs:  float64(platform.Ledger().TotalHITs()),
+			cost:    platform.Ledger().TotalCost(),
+			covered: gc.Covered,
+		}
+
+		basePlatform, err := crowd.NewPlatform(d, cfg)
+		if err != nil {
+			return table1Obs{}, err
+		}
+		if _, err := core.BaseCoverage(basePlatform, d.IDs(), p.Tau, g); err != nil {
+			return table1Obs{}, err
+		}
+		obs.baseHITs = float64(basePlatform.Ledger().TotalHITs())
+		return obs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{Params: p}
+	for si, setting := range settings {
+		r := results[si]
 		res.Rows = append(res.Rows, Table1Row{
 			QualityControl:    setting.name,
-			GroupCoverageHITs: stats.Summarize(gcHITs).Mean,
-			BaseCoverageHITs:  stats.Summarize(baseHITs).Mean,
+			GroupCoverageHITs: r.Mean(func(v table1Obs) float64 { return v.gcHITs }),
+			BaseCoverageHITs:  r.Mean(func(v table1Obs) float64 { return v.baseHITs }),
 			UpperBoundHITs:    int(math.Round(core.UpperBoundHITs(p.Preset.Size(), p.SetSize, p.Tau))),
-			Covered:           covered,
-			TotalCostUSD:      stats.Summarize(cost).Mean,
+			Covered:           r.All(func(v table1Obs) bool { return v.covered }),
+			TotalCostUSD:      r.Mean(func(v table1Obs) float64 { return v.cost }),
 		})
 	}
 	return res, nil

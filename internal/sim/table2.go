@@ -2,11 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"imagecvg/internal/classifier"
 	"imagecvg/internal/core"
 	"imagecvg/internal/dataset"
+	"imagecvg/internal/experiment"
 	"imagecvg/internal/stats"
 )
 
@@ -46,65 +46,84 @@ func (r *Table2Result) String() string {
 	return "Table 2: female coverage detection on gender-classified datasets (tau=50, n=50)\n" + t.String()
 }
 
+// table2Obs is one trial's outcome for a (dataset, classifier) row.
+// Strategy, realized confusion and verdict do not average; the
+// harness reports the final trial's (deterministic at any
+// parallelism, since trials are pure functions of their seed).
+type table2Obs struct {
+	ccHITs, gcHITs float64
+	strategy       core.Strategy
+	realized       classifier.Confusion
+	covered        bool
+}
+
 // RunTable2 reproduces Table 2: for each of the paper's nine
 // (dataset, classifier) configurations, it builds a simulated
 // classifier realizing the published accuracy/precision, feeds its
 // predicted-female set to Classifier-Coverage, and compares the task
-// count against standalone Group-Coverage. Averaged over trials.
-func RunTable2(seed int64, trials int) (*Table2Result, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+// count against standalone Group-Coverage. Averaged over o.Trials on
+// the trial-runner.
+func RunTable2(o Options) (*Table2Result, error) {
 	const tau, setSize = 50, 50
-	res := &Table2Result{}
-	for ri, row := range classifier.Table2Rows() {
+	rows := classifier.Table2Rows()
+	sims := make([]*classifier.Simulated, len(rows))
+	cfgs := make([]experiment.Config, len(rows))
+	for ri, row := range rows {
 		sim, err := row.Build()
 		if err != nil {
 			return nil, err
 		}
-		var ccHITs, gcHITs []float64
-		var strategy core.Strategy
-		var realized classifier.Confusion
-		covered := false
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(seed + int64(100*ri+trial)))
-			d := row.Dataset.Generate(rng)
-			g := dataset.Female(d.Schema())
-			predicted, err := sim.Predict(d, g, rng)
-			if err != nil {
-				return nil, err
-			}
-			realized, err = classifier.Evaluate(d, g, predicted)
-			if err != nil {
-				return nil, err
-			}
-
-			o := core.NewTruthOracle(d)
-			cc, err := core.ClassifierCoverage(o, d.IDs(), predicted, setSize, tau, g,
-				core.ClassifierOptions{Rng: rng})
-			if err != nil {
-				return nil, err
-			}
-			ccHITs = append(ccHITs, float64(cc.Tasks))
-			strategy = cc.Strategy
-			covered = cc.Covered
-
-			o2 := core.NewTruthOracle(d)
-			gc, err := core.GroupCoverage(o2, d.IDs(), setSize, tau, g)
-			if err != nil {
-				return nil, err
-			}
-			gcHITs = append(gcHITs, float64(gc.Tasks))
+		sims[ri] = sim
+		cfgs[ri] = o.cell("table2/"+row.Dataset.Name+"/"+row.Classifier, int64(100*ri))
+	}
+	results, err := experiment.RunMany(cfgs, func(cell int, t experiment.Trial) (table2Obs, error) {
+		row, rng := rows[cell], t.Rng
+		d := row.Dataset.Generate(rng)
+		g := dataset.Female(d.Schema())
+		predicted, err := sims[cell].Predict(d, g, rng)
+		if err != nil {
+			return table2Obs{}, err
 		}
+		realized, err := classifier.Evaluate(d, g, predicted)
+		if err != nil {
+			return table2Obs{}, err
+		}
+
+		oracle := core.NewTruthOracle(d)
+		cc, err := core.ClassifierCoverage(oracle, d.IDs(), predicted, setSize, tau, g,
+			core.ClassifierOptions{Rng: rng})
+		if err != nil {
+			return table2Obs{}, err
+		}
+		gc, err := core.GroupCoverage(core.NewTruthOracle(d), d.IDs(), setSize, tau, g)
+		if err != nil {
+			return table2Obs{}, err
+		}
+		return table2Obs{
+			ccHITs:   float64(cc.Tasks),
+			gcHITs:   float64(gc.Tasks),
+			strategy: cc.Strategy,
+			realized: realized,
+			covered:  cc.Covered,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table2Result{}
+	for ri, row := range rows {
+		r := results[ri]
+		last := r.Last()
 		res.Rows = append(res.Rows, Table2ResultRow{
 			Dataset:                row.Dataset.Name,
 			Classifier:             row.Classifier,
-			Accuracy:               realized.Accuracy(),
-			Precision:              realized.Precision(),
-			Strategy:               string(strategy),
-			ClassifierCoverageHITs: stats.Summarize(ccHITs).Mean,
-			GroupCoverageHITs:      stats.Summarize(gcHITs).Mean,
-			Covered:                covered,
+			Accuracy:               last.realized.Accuracy(),
+			Precision:              last.realized.Precision(),
+			Strategy:               string(last.strategy),
+			ClassifierCoverageHITs: r.Mean(func(v table2Obs) float64 { return v.ccHITs }),
+			GroupCoverageHITs:      r.Mean(func(v table2Obs) float64 { return v.gcHITs }),
+			Covered:                last.covered,
 		})
 	}
 	return res, nil

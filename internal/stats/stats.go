@@ -55,6 +55,16 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// CI95 returns the half-width of the normal-approximation 95 %
+// confidence interval on the mean (1.96 * Std / sqrt(N)); zero for
+// samples of fewer than two observations.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
 // String implements fmt.Stringer.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f med=%.2f max=%.2f",

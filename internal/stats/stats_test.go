@@ -33,6 +33,20 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	want := 1.96 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Errorf("CI95 = %f, want %f", s.CI95(), want)
+	}
+	if Summarize([]float64{7}).CI95() != 0 {
+		t.Error("singleton CI95 should be 0")
+	}
+	if Summarize(nil).CI95() != 0 {
+		t.Error("empty CI95 should be 0")
+	}
+}
+
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)

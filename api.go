@@ -164,6 +164,7 @@ type Auditor struct {
 	setSize     int
 	seed        int64
 	parallelism int
+	lockstep    bool
 	retry       core.RetryPolicy
 	cache       *core.CachingOracle
 }
@@ -190,6 +191,24 @@ func (a *Auditor) WithSeed(seed int64) *Auditor {
 // verdicts and task counts match the sequential engine exactly.
 func (a *Auditor) WithParallelism(parallelism int) *Auditor {
 	a.parallelism = parallelism
+	return a
+}
+
+// WithLockstep replaces the free-running worker pool with the
+// deterministic lockstep scheduler: concurrent audits advance in
+// virtual rounds, each round's queries commit to the oracle as one
+// batch in canonical (super-group, member, query-sequence) order, and
+// the schedule is independent of the parallelism setting. Use it when
+// the oracle's answers depend on query order — the simulated crowd,
+// whose worker draws advance an RNG per HIT — and reproducibility
+// across parallelism levels matters: verdicts, task counts and spend
+// are then bit-identical at every WithParallelism value. The oracle
+// should answer batches in request order (SimulatedCrowd and
+// TruthOracle do; see core.BatchOracle). Order-independent oracles
+// additionally reproduce the sequential engine exactly, and batched
+// rounds preserve most of the concurrent engine's latency win.
+func (a *Auditor) WithLockstep() *Auditor {
+	a.lockstep = true
 	return a
 }
 
@@ -229,6 +248,7 @@ func (a *Auditor) multipleOptions() core.MultipleOptions {
 	return core.MultipleOptions{
 		Rng:         rand.New(rand.NewSource(a.seed)),
 		Parallelism: a.parallelism,
+		Lockstep:    a.lockstep,
 		Retry:       a.retry,
 	}
 }

@@ -154,3 +154,61 @@ func TestSimulatedCrowdIsBatchOracle(t *testing.T) {
 		t.Errorf("ledger HITs = %d, want 7", got)
 	}
 }
+
+// TestAuditorLockstepCrowdInvariance: the public WithLockstep surface
+// — a simulated-crowd audit (order-dependent oracle) must produce
+// identical verdicts, counts and spend at every parallelism level.
+func TestAuditorLockstepCrowdInvariance(t *testing.T) {
+	ds, err := GenerateBinary(300, 12, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupsForAttribute(ds.Schema(), 0)
+	var base *MultipleResult
+	var baseCost string
+	for i, par := range []int{1, 4, 16} {
+		crowd, err := NewSimulatedCrowd(ds, 32, CrowdOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewAuditor(crowd, 20, 15).WithSeed(5).WithParallelism(par).WithLockstep().
+			AuditGroups(ds.IDs(), groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := crowd.Cost().String()
+		if i == 0 {
+			base, baseCost = res, cost
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("WithLockstep at parallelism %d diverged from parallelism 1", par)
+		}
+		if cost != baseCost {
+			t.Errorf("parallelism %d spend %s, want %s", par, cost, baseCost)
+		}
+	}
+}
+
+// TestAuditorLockstepMatchesSequentialOnTruth: with an
+// order-independent oracle, lockstep reproduces the plain sequential
+// audit exactly through the public API too.
+func TestAuditorLockstepMatchesSequentialOnTruth(t *testing.T) {
+	ds, err := GenerateBinary(2_000, 25, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupsForAttribute(ds.Schema(), 0)
+	seq, err := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(4).AuditGroups(ds.IDs(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := NewAuditor(NewTruthOracle(ds), 50, 50).WithSeed(4).WithParallelism(8).WithLockstep().
+		AuditGroups(ds.IDs(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, lock) {
+		t.Error("WithLockstep diverged from the sequential engine on an order-independent oracle")
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"imagecvg/internal/core"
-	"imagecvg/internal/dataset"
 	"imagecvg/internal/experiment"
 	"imagecvg/internal/sim"
 )
@@ -127,6 +126,13 @@ func BenchmarkSamplingBaseline(b *testing.B) { benchExperiment(b, "sampling-base
 // under spammer-heavy worker pools.
 func BenchmarkAggregation(b *testing.B) { benchExperiment(b, "aggregation") }
 
+// BenchmarkLockstepLatency regenerates the latency-bound lockstep
+// comparison: the deterministic round scheduler must retain >= 2x of
+// the concurrent engine's wall-clock win at parallelism 4 under
+// per-HIT crowd latency. This is the record the CI regression gate
+// tracks in BENCH_core.json.
+func BenchmarkLockstepLatency(b *testing.B) { benchExperiment(b, "lockstep-latency") }
+
 // --- trial-runner benchmarks -----------------------------------------------
 
 // benchmarkHarnessTable1 regenerates Table 1 with 8 crowd deployments
@@ -158,29 +164,6 @@ func BenchmarkHarnessTable1Parallel(b *testing.B) {
 	benchmarkHarnessTable1(b, runtime.NumCPU())
 }
 
-// latencyOracle models what dominates a real deployment: every HIT
-// takes wall-clock time to come back from the crowd. Safe for
-// concurrent use (TruthOracle is).
-type latencyOracle struct {
-	*core.TruthOracle
-	delay time.Duration
-}
-
-func (o latencyOracle) SetQuery(ids []dataset.ObjectID, g Group) (bool, error) {
-	time.Sleep(o.delay)
-	return o.TruthOracle.SetQuery(ids, g)
-}
-
-func (o latencyOracle) ReverseSetQuery(ids []dataset.ObjectID, g Group) (bool, error) {
-	time.Sleep(o.delay)
-	return o.TruthOracle.ReverseSetQuery(ids, g)
-}
-
-func (o latencyOracle) PointQuery(id ObjectID) ([]int, error) {
-	time.Sleep(o.delay)
-	return o.TruthOracle.PointQuery(id)
-}
-
 // benchmarkTrialRunnerLatency measures the trial-runner on a
 // multi-trial experiment whose oracle carries per-HIT latency — the
 // regime the paper's deployments live in (a real HIT takes minutes;
@@ -200,7 +183,9 @@ func benchmarkTrialRunnerLatency(b *testing.B, parallelism int) {
 		_, err := experiment.Run(experiment.Config{
 			Name: "latency-audit", Seed: benchSeed, Trials: 8, Parallelism: parallelism,
 		}, func(t experiment.Trial) (int, error) {
-			o := latencyOracle{TruthOracle: core.NewTruthOracle(ds), delay: time.Millisecond}
+			// DelayOracle models what dominates a real deployment:
+			// every HIT takes wall-clock time to come back.
+			o := core.DelayOracle{Inner: core.NewTruthOracle(ds), Delay: time.Millisecond}
 			res, err := core.GroupCoverage(o, ids, 50, 20, g)
 			if err != nil {
 				return 0, err
@@ -225,6 +210,51 @@ func BenchmarkTrialRunnerLatencyParallel4(b *testing.B) { benchmarkTrialRunnerLa
 // BenchmarkTrialRunnerLatencyParallel8 saturates the pool at the
 // trial count.
 func BenchmarkTrialRunnerLatencyParallel8(b *testing.B) { benchmarkTrialRunnerLatency(b, 8) }
+
+// benchmarkMultipleLatency measures ONE Multiple-Coverage audit under
+// per-HIT latency on the chosen engine — the wall-clock the lockstep
+// scheduler must preserve: its virtual rounds commit as batches whose
+// round-trips overlap across the pool, so determinism does not cost
+// the concurrency win.
+func benchmarkMultipleLatency(b *testing.B, parallelism int, lockstep bool) {
+	schema, err := NewSchema(
+		Attribute{Name: "group", Values: []string{"g0", "g1", "g2", "g3"}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := DatasetFromCounts(schema, []int{1916, 30, 28, 26}, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := GroupsForAttribute(schema, 0)
+	ids := ds.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := core.DelayOracle{Inner: core.NewTruthOracle(ds), Delay: 300 * time.Microsecond}
+		auditor := NewAuditor(oracle, 50, 25).WithSeed(benchSeed).WithParallelism(parallelism)
+		if lockstep {
+			auditor = auditor.WithLockstep()
+		}
+		if _, err := auditor.AuditGroups(ids, groups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultipleLatencySequential is the sequential Algorithm 2
+// baseline: every HIT pays its full round-trip in series.
+func BenchmarkMultipleLatencySequential(b *testing.B) { benchmarkMultipleLatency(b, 1, false) }
+
+// BenchmarkMultipleLatencyLockstep4 runs the identical audit on the
+// lockstep scheduler at parallelism 4 (>= 2x wall-clock win with
+// bit-identical results at any width).
+func BenchmarkMultipleLatencyLockstep4(b *testing.B) { benchmarkMultipleLatency(b, 4, true) }
+
+// BenchmarkMultipleLatencyFree4 is the free-running engine at the same
+// width, the ceiling lockstep is measured against.
+func BenchmarkMultipleLatencyFree4(b *testing.B) { benchmarkMultipleLatency(b, 4, false) }
 
 // --- micro-benchmarks of the core machinery --------------------------------
 

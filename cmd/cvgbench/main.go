@@ -11,6 +11,8 @@
 //	cvgbench -exp table1 -seed 42 -trials 5
 //	cvgbench -exp all -trial-parallelism 8
 //	cvgbench -exp all -json BENCH_core.json -baseline
+//	cvgbench -exp all -lockstep
+//	cvgbench -exp lockstep-latency -json BENCH_core.json -fail-regression 20
 package main
 
 import (
@@ -55,10 +57,11 @@ type benchRun struct {
 	SHA string `json:"sha,omitempty"`
 	// Time is the run's UTC timestamp, RFC 3339.
 	Time string `json:"time"`
-	// Seed, Trials and TrialParallelism echo the flags.
+	// Seed, Trials, TrialParallelism and Lockstep echo the flags.
 	Seed             int64 `json:"seed"`
 	Trials           int   `json:"trials"`
 	TrialParallelism int   `json:"trial_parallelism"`
+	Lockstep         bool  `json:"lockstep,omitempty"`
 	// Records holds one entry per experiment run.
 	Records []benchRecord `json:"records"`
 }
@@ -118,6 +121,39 @@ func loadHistory(path string) ([]benchRun, error) {
 	return runs, nil
 }
 
+// worstRegression compares the current run's records against the
+// history's previous run and returns the largest ns/op increase in
+// percent, with the offending experiment id. Runs are only comparable
+// when they were measured the same way — same trial-parallelism and
+// lockstep setting at the run level (NsPerOp shrinks roughly linearly
+// with the pool width), same seed and trial count per record; ok is
+// false when nothing is.
+func worstRegression(history []benchRun, current benchRun) (pct float64, id string, ok bool) {
+	if len(history) == 0 {
+		return 0, "", false
+	}
+	prev := history[len(history)-1]
+	if prev.TrialParallelism != current.TrialParallelism || prev.Lockstep != current.Lockstep {
+		return 0, "", false
+	}
+	prevByID := make(map[string]benchRecord, len(prev.Records))
+	for _, r := range prev.Records {
+		prevByID[r.ID] = r
+	}
+	worst := 0.0
+	for _, r := range current.Records {
+		p, found := prevByID[r.ID]
+		if !found || p.NsPerOp <= 0 || p.Seed != r.Seed || p.Trials != r.Trials {
+			continue
+		}
+		delta := 100 * (float64(r.NsPerOp) - float64(p.NsPerOp)) / float64(p.NsPerOp)
+		if !ok || delta > worst {
+			worst, id, ok = delta, r.ID, true
+		}
+	}
+	return worst, id, ok
+}
+
 // reportBaseline prints deltas of the current records against the
 // previous run in the history.
 func reportBaseline(out io.Writer, history []benchRun, current []benchRecord) {
@@ -163,9 +199,11 @@ func run(args []string, out, errOut io.Writer) int {
 		seed     = fs.Int64("seed", 42, "base random seed")
 		trials   = fs.Int("trials", 3, "repetitions averaged per configuration")
 		trialPar = fs.Int("trial-parallelism", 1, "trial-runner worker pool width (1 = sequential harness; results are identical at any width)")
+		lockstep = fs.Bool("lockstep", false, "run every audit on the deterministic lockstep scheduler (bit-identical artifacts across the engine-parallelism axis, order-dependent oracles included)")
 		list     = fs.Bool("list", false, "list available experiments and exit")
 		jsonPath = fs.String("json", "", "append benchmark records (ns/op, HIT counts) to a JSON history keyed by git SHA + timestamp, e.g. BENCH_core.json")
 		baseline = fs.Bool("baseline", false, "with -json: report deltas against the history's previous run")
+		failPct  = fs.Float64("fail-regression", 0, "with -json: exit 3 when any experiment's ns/op regresses by more than this percentage vs the history's previous comparable run (0 disables); CI points this at the latency-bound lockstep benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -182,9 +220,13 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "cvgbench: -baseline requires -json")
 		return 2
 	}
+	if *failPct > 0 && *jsonPath == "" {
+		fmt.Fprintln(errOut, "cvgbench: -fail-regression requires -json")
+		return 2
+	}
 
 	timing := experiment.NewRecorder()
-	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar, Timing: timing}
+	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar, Lockstep: *lockstep, Timing: timing}
 
 	var records []benchRecord
 	runOne := func(e sim.Experiment) error {
@@ -244,12 +286,21 @@ func run(args []string, out, errOut io.Writer) int {
 		if *baseline {
 			reportBaseline(out, history, records)
 		}
-		history = append(history, benchRun{
+		current := benchRun{
 			SHA:  gitSHA(),
 			Time: time.Now().UTC().Format(time.RFC3339),
-			Seed: *seed, Trials: *trials, TrialParallelism: *trialPar,
+			Seed: *seed, Trials: *trials, TrialParallelism: *trialPar, Lockstep: *lockstep,
 			Records: records,
-		})
+		}
+		regressed := false
+		if *failPct > 0 {
+			if worst, id, ok := worstRegression(history, current); ok && worst > *failPct {
+				fmt.Fprintf(errOut, "cvgbench: %s regressed %+.1f%% ns/op vs the previous run (budget %.1f%%)\n",
+					id, worst, *failPct)
+				regressed = true
+			}
+		}
+		history = append(history, current)
 		data, err := json.MarshalIndent(history, "", "  ")
 		if err != nil {
 			fmt.Fprintln(errOut, "cvgbench:", err)
@@ -261,6 +312,11 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		fmt.Fprintf(out, "appended %d benchmark records to %s (%d runs)\n",
 			len(records), *jsonPath, len(history))
+		if regressed {
+			// The failing run is still recorded — the next run compares
+			// against it, so a one-off spike does not poison the gate.
+			return 3
+		}
 	}
 	return 0
 }

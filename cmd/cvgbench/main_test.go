@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -199,6 +200,109 @@ func TestUnknownExperiment(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestWorstRegression pins the comparison the CI gate rides on: only
+// runs measured the same way (trial-parallelism, lockstep) and records
+// with the same seed and trial count are comparable, and the worst
+// ns/op increase wins.
+func TestWorstRegression(t *testing.T) {
+	history := []benchRun{{
+		Seed: 42, Trials: 2, TrialParallelism: 1,
+		Records: []benchRecord{
+			{ID: "a", Seed: 42, Trials: 2, NsPerOp: 100},
+			{ID: "b", Seed: 42, Trials: 2, NsPerOp: 200},
+			{ID: "c", Seed: 7, Trials: 2, NsPerOp: 50}, // different seed: not comparable
+		},
+	}}
+	current := benchRun{
+		Seed: 42, Trials: 2, TrialParallelism: 1,
+		Records: []benchRecord{
+			{ID: "a", Seed: 42, Trials: 2, NsPerOp: 150}, // +50%
+			{ID: "b", Seed: 42, Trials: 2, NsPerOp: 190}, // -5%
+			{ID: "c", Seed: 42, Trials: 2, NsPerOp: 500}, // incomparable baseline
+			{ID: "d", Seed: 42, Trials: 2, NsPerOp: 999}, // no baseline
+		},
+	}
+	worst, id, ok := worstRegression(history, current)
+	if !ok || id != "a" || worst < 49.9 || worst > 50.1 {
+		t.Errorf("worstRegression = (%.1f, %q, %v), want (+50%%, \"a\", true)", worst, id, ok)
+	}
+	if _, _, ok := worstRegression(nil, current); ok {
+		t.Error("empty history must not be comparable")
+	}
+	// A previous run on a wider trial pool (or the lockstep engine) is
+	// not comparable: NsPerOp scales with the pool width.
+	wider := current
+	wider.TrialParallelism = 4
+	if _, _, ok := worstRegression(history, wider); ok {
+		t.Error("runs with different trial-parallelism must not be comparable")
+	}
+	locked := current
+	locked.Lockstep = true
+	if _, _, ok := worstRegression(history, locked); ok {
+		t.Error("runs with different lockstep settings must not be comparable")
+	}
+}
+
+// TestFailRegressionGate: the CLI must exit 3 when the latency-bound
+// benchmark regresses beyond the budget vs the recorded history, and
+// still append the failing run so the next comparison self-heals.
+func TestFailRegressionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	// Seed the history with an absurdly fast previous run (measured
+	// under the same flags as below) so the real run is guaranteed to
+	// "regress".
+	history := []benchRun{{
+		Seed: 42, Trials: 1, TrialParallelism: 1,
+		Records: []benchRecord{{ID: "figure7a", Seed: 42, Trials: 1, NsPerOp: 1}},
+	}}
+	data, err := json.Marshal(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "figure7a", "-seed", "42", "-trials", "1",
+		"-json", path, "-fail-regression", "20"}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (regression gate); stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "regressed") {
+		t.Errorf("stderr missing regression report: %s", errOut.String())
+	}
+	// The failing run is still appended.
+	var runs []benchRun
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Errorf("history has %d runs, want 2 (failing run recorded)", len(runs))
+	}
+
+	// Within budget: a second identical run compares against the real
+	// measurement and passes.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-exp", "figure7a", "-seed", "42", "-trials", "1",
+		"-json", path, "-fail-regression", "400"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 within budget; stderr: %s", code, errOut.String())
+	}
+}
+
+// TestFailRegressionRequiresJSON: the gate needs a history file.
+func TestFailRegressionRequiresJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "figure7a", "-fail-regression", "20"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }

@@ -9,6 +9,7 @@
 //	cvgrun -data feret.json -mode base -group "1"
 //	cvgrun -data faces.json -mode intersectional -crowd
 //	cvgrun -data faces.json -mode attribute -attr gender
+//	cvgrun -data faces.json -mode attribute -crowd -parallelism 8 -lockstep
 package main
 
 import (
@@ -37,6 +38,7 @@ func run(args []string, out, errOut io.Writer) int {
 		seed     = fs.Int64("seed", 1, "random seed")
 		useCrowd = fs.Bool("crowd", false, "audit through the simulated crowd instead of ground truth")
 		par      = fs.Int("parallelism", 1, "worker pool size of the concurrent audit engine (<=1 sequential)")
+		lockstep = fs.Bool("lockstep", false, "schedule concurrent audits in deterministic lockstep rounds (bit-identical results at any -parallelism, even through the order-dependent simulated crowd)")
 		cache    = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +68,9 @@ func run(args []string, out, errOut io.Writer) int {
 		oracle = imagecvg.NewTruthOracle(ds)
 	}
 	auditor := imagecvg.NewAuditor(oracle, *tau, *n).WithSeed(*seed).WithParallelism(*par)
+	if *lockstep {
+		auditor = auditor.WithLockstep()
+	}
 	if *cache {
 		auditor = auditor.WithCache()
 	}

@@ -130,3 +130,25 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestLockstepCrowdInvariantAcrossParallelism: through the CLI, a
+// crowd-backed audit with -lockstep must print byte-identical output
+// (verdicts, task counts, dollar cost) at every -parallelism value.
+func TestLockstepCrowdInvariantAcrossParallelism(t *testing.T) {
+	path := writeDataset(t, 300, 40)
+	audit := func(parallelism string) string {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-data", path, "-mode", "attribute", "-tau", "25",
+			"-n", "15", "-crowd", "-seed", "3", "-parallelism", parallelism, "-lockstep"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("parallelism %s: exit = %d, stderr: %s", parallelism, code, errOut.String())
+		}
+		return out.String()
+	}
+	base := audit("1")
+	for _, p := range []string{"4", "16"} {
+		if got := audit(p); got != base {
+			t.Errorf("-lockstep output diverged at -parallelism %s:\n%s\nvs\n%s", p, got, base)
+		}
+	}
+}

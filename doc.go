@@ -51,6 +51,25 @@
 //     is never posted twice; transient errors are never cached, and
 //     Auditor.WithRetry re-posts them instead of aborting.
 //
+// # Determinism contract
+//
+// Reproducibility across parallelism levels depends on the oracle:
+//
+//   - Order-INDEPENDENT oracles — TruthOracle, any bridge whose answer
+//     is a function of the request alone — are safe with the default
+//     free-running pool: WithParallelism(k) reproduces the sequential
+//     engine bit-for-bit at every k.
+//   - Order-DEPENDENT oracles — the simulated crowd, whose worker
+//     draws advance an RNG per HIT, or any stateful aggregator — need
+//     Auditor.WithLockstep: audits then advance in virtual rounds
+//     whose queries commit to the oracle as one batch in canonical
+//     (super-group, member, query-sequence) order, so verdicts, task
+//     counts and spend are bit-identical at every WithParallelism
+//     value. The oracle must answer batches in request order
+//     (SimulatedCrowd does natively); batched rounds preserve most of
+//     the concurrent engine's latency win, because a round's HITs
+//     still post together.
+//
 // # Experiment engine
 //
 // Above the audits sits a parallel trial-runner (exposed as RunTrials,

@@ -26,7 +26,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	auditor := imagecvg.NewAuditor(crowd, 50, 50)
+	// The simulated crowd is order-dependent (worker draws advance the
+	// platform RNG per HIT), so multi-group audits pair WithParallelism
+	// with WithLockstep: audits advance in deterministic virtual
+	// rounds, and verdicts, task counts and dollar costs come out
+	// bit-identical whether the engine runs 1-wide or 16-wide. (The
+	// single-group audits below run the sequential Algorithm 1 either
+	// way; lockstep matters for AuditGroups/AuditAttribute/
+	// AuditIntersectional.)
+	auditor := imagecvg.NewAuditor(crowd, 50, 50).WithParallelism(4).WithLockstep()
 	female := imagecvg.FemaleGroup(ds.Schema())
 
 	res, err := auditor.AuditGroup(ds.IDs(), female)
@@ -46,4 +54,20 @@ func main() {
 	}
 	fmt.Println("\nBase-Coverage verdict: ", base)
 	fmt.Println("crowd cost:            ", crowd.Cost())
+
+	// Both gender groups at once through the concurrent engine — this
+	// is the audit the lockstep scheduler makes reproducible: thanks
+	// to WithLockstep above, this block prints the same verdicts and
+	// cost for every WithParallelism value.
+	crowd.ResetCost()
+	attr, err := auditor.AuditAttribute(ds.IDs(), ds.Schema(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMultiple-Coverage over gender (lockstep):")
+	for _, r := range attr.Results {
+		fmt.Printf("  %-8s covered=%-5v count in [%d, %d]\n", r.Group, r.Covered, r.CountLo, r.CountHi)
+	}
+	fmt.Printf("tasks: %d (samples %d + audits %d)\n", attr.Tasks, attr.SampleTasks, attr.AuditTasks)
+	fmt.Println("crowd cost:", crowd.Cost())
 }

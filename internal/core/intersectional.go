@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"math/rand"
 	"sort"
 
 	"imagecvg/internal/dataset"
@@ -116,17 +115,15 @@ func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pat
 	}
 	// Retry wraps each re-audit with its own child RNG like every
 	// other audit phase; the child seeds are drawn only when a policy
-	// is set, so retry-free runs leave opts.Rng untouched.
+	// is set, so retry-free runs leave opts.Rng untouched. The audits
+	// dispatch free-running or in lockstep rounds per opts.Lockstep,
+	// with pattern-universe order as the canonical task order.
 	var seeds []int64
 	if opts.Retry.Enabled() {
 		seeds = splitSeeds(opts.Rng, len(unresolved))
 	}
-	err = RunBounded(opts.Parallelism, len(unresolved), func(i int) error {
+	err = runAuditPool(o, opts, seeds, len(unresolved), func(i int, audit Oracle) error {
 		r := &unresolved[i]
-		audit := o
-		if seeds != nil {
-			audit = withRetry(o, opts.Retry, rand.New(rand.NewSource(seeds[i])))
-		}
 		var e error
 		r.audit, e = GroupCoverage(audit, mres.RemainingIDs, n, clampTau(tau-r.labeled), r.group)
 		return e

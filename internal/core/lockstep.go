@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// This file is the deterministic lockstep scheduler behind
+// MultipleOptions.Lockstep. The free-running engine (parallel.go) is
+// bit-equal across parallelism levels only for order-independent
+// oracles: an order-dependent oracle like the crowd Platform consumes
+// its RNG per HIT in arrival order, and arrival order under a
+// free-running pool depends on goroutine interleaving. Lockstep
+// removes that dependence by executing audits in virtual rounds:
+//
+//   - every audit task runs in its own goroutine regardless of
+//     Parallelism, so the set of concurrently live tasks — and with it
+//     the composition of every round — never depends on the pool
+//     width;
+//   - a task that needs an oracle answer parks its query and blocks;
+//     when every live task is parked (or finished), the round is
+//     complete;
+//   - the round's queries are ordered canonically — by task index,
+//     then per-task query sequence, where the task index encodes the
+//     engine's (super-group, member) ordering — and committed through
+//     one BatchOracle round (SetQueryBatch, then PointQueryBatch);
+//   - answers release the tasks, which compute to their next query.
+//
+// Because round composition and commit order are both schedule-free,
+// an order-dependent oracle that implements BatchOracle natively (the
+// crowd Platform answers a batch in request order under one lock) sees
+// the identical query sequence at every Parallelism value, making the
+// full crowdsourced pipeline — worker draws, Dawid-Skene-style
+// aggregation, pricing — bit-for-bit reproducible. Parallelism only
+// bounds the pool AsBatchOracle uses to lift oracles without native
+// batching, so batched rounds still amortize per-HIT crowd latency.
+
+// lockstepQuery is one parked oracle query awaiting its round.
+type lockstepQuery struct {
+	// task and seq give the query its canonical position: task is the
+	// audit's index in the engine's fixed task order, seq the query's
+	// per-task issue number.
+	task, seq int
+	// point selects PointQuery (id) over a set query (req).
+	point bool
+	id    dataset.ObjectID
+	req   SetRequest
+	// done publishes the outcome under the scheduler lock.
+	done   bool
+	ans    bool
+	labels []int
+	err    error
+}
+
+// orderCanonically sorts a round into its commit order: by task index,
+// then per-task sequence. The fuzz harness drives this ordering with
+// randomized arrival orders.
+func orderCanonically(round []*lockstepQuery) {
+	sort.Slice(round, func(i, j int) bool {
+		if round[i].task != round[j].task {
+			return round[i].task < round[j].task
+		}
+		return round[i].seq < round[j].seq
+	})
+}
+
+// lockstep coordinates one group of audit tasks through virtual
+// rounds.
+type lockstep struct {
+	bo BatchOracle
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	live   int // tasks neither finished nor aborted
+	parked []*lockstepQuery
+	err    error // sticky abort: set once a task finishes with an error
+}
+
+// newLockstep builds a scheduler for n tasks committing rounds through
+// bo.
+func newLockstep(bo BatchOracle, n int) *lockstep {
+	s := &lockstep{bo: bo, live: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// submit parks one query and blocks until its round commits. After an
+// abort the query fails immediately without reaching the oracle.
+func (s *lockstep) submit(q *lockstepQuery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		q.err, q.done = s.err, true
+		return
+	}
+	s.parked = append(s.parked, q)
+	s.maybeCommit()
+	for !q.done {
+		s.cond.Wait()
+	}
+}
+
+// finish retires one task; a non-nil error aborts the remaining tasks
+// (their next submit fails instead of posting more HITs a doomed audit
+// would pay for). Callers hold no lock.
+func (s *lockstep) finish(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live--
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	s.maybeCommit()
+}
+
+// maybeCommit commits the round once every live task has parked.
+// Callers hold s.mu; the parked tasks are all inside cond.Wait, so the
+// oracle round runs without contention.
+func (s *lockstep) maybeCommit() {
+	if len(s.parked) == 0 || len(s.parked) < s.live {
+		return
+	}
+	round := s.parked
+	s.parked = nil
+	orderCanonically(round)
+	if s.err != nil {
+		failRound(round, s.err)
+	} else {
+		s.commit(round)
+	}
+	s.cond.Broadcast()
+}
+
+// commit posts one canonical round: set queries first, point queries
+// second, each kind as a single batch in canonical order. A batch
+// error fails the whole round uniformly — every parked task sees the
+// same error, so which error surfaces never depends on scheduling, and
+// a task-side retry policy re-parks its query in a later round
+// (re-posting the round's HITs, the price of keeping failure handling
+// deterministic).
+func (s *lockstep) commit(round []*lockstepQuery) {
+	var sets, points []*lockstepQuery
+	for _, q := range round {
+		if q.point {
+			points = append(points, q)
+		} else {
+			sets = append(sets, q)
+		}
+	}
+	if len(sets) > 0 {
+		reqs := make([]SetRequest, len(sets))
+		for i, q := range sets {
+			reqs[i] = q.req
+		}
+		answers, err := s.bo.SetQueryBatch(reqs)
+		if err != nil {
+			failRound(round, err)
+			return
+		}
+		for i, q := range sets {
+			q.ans = answers[i]
+		}
+	}
+	if len(points) > 0 {
+		ids := make([]dataset.ObjectID, len(points))
+		for i, q := range points {
+			ids[i] = q.id
+		}
+		labels, err := s.bo.PointQueryBatch(ids)
+		if err != nil {
+			failRound(round, err)
+			return
+		}
+		for i, q := range points {
+			q.labels = labels[i]
+		}
+	}
+	for _, q := range round {
+		q.done = true
+	}
+}
+
+// failRound delivers one error to every query of a round.
+func failRound(round []*lockstepQuery, err error) {
+	for _, q := range round {
+		q.err, q.done = err, true
+	}
+}
+
+// lockstepOracle is the per-task Oracle facade: each query parks in
+// the scheduler and returns with its round's answer. One goroutine
+// owns it, so the sequence counter needs no lock.
+type lockstepOracle struct {
+	s    *lockstep
+	task int
+	seq  int
+}
+
+// ask routes one query through the scheduler.
+func (o *lockstepOracle) ask(q *lockstepQuery) {
+	q.task, q.seq = o.task, o.seq
+	o.seq++
+	o.s.submit(q)
+}
+
+// SetQuery implements Oracle.
+func (o *lockstepOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	q := &lockstepQuery{req: SetRequest{IDs: ids, Group: g}}
+	o.ask(q)
+	return q.ans, q.err
+}
+
+// ReverseSetQuery implements Oracle.
+func (o *lockstepOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	q := &lockstepQuery{req: SetRequest{IDs: ids, Group: g, Reverse: true}}
+	o.ask(q)
+	return q.ans, q.err
+}
+
+// PointQuery implements Oracle.
+func (o *lockstepOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	q := &lockstepQuery{point: true, id: id}
+	o.ask(q)
+	return q.labels, q.err
+}
+
+// runLockstep runs fn(i) for every task in [0, n) in lockstep rounds:
+// all n tasks are live at once (goroutines are cheap; the oracle round
+// is the scarce resource), each audits through its own per-task Oracle
+// facade, and rounds commit through AsBatchOracle(o, parallelism) in
+// canonical order. Error surfacing follows task-index order, never
+// finish order: a failed round delivers one error to every parked
+// task, a task failing on its own aborts the rest before they post
+// further queries, and the lowest-indexed task's error is returned —
+// so which error surfaces does not depend on goroutine scheduling.
+func runLockstep(o Oracle, parallelism, n int, fn func(i int, audit Oracle) error) error {
+	if n == 0 {
+		return nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	s := newLockstep(AsBatchOracle(o, parallelism), n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := fn(i, &lockstepOracle{s: s, task: i})
+			errs[i] = err
+			s.finish(err)
+		}(i)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// runAuditPool dispatches n independent audits on the engine selected
+// by the options: lockstep rounds when opts.Lockstep, the free-running
+// bounded pool otherwise. seeds, when non-nil and retries are enabled,
+// hand audit i a retry wrapper with its own child jitter RNG; under
+// lockstep the wrapper sits task-side, so a retried query simply parks
+// again in a later round.
+func runAuditPool(o Oracle, opts MultipleOptions, seeds []int64, n int, fn func(i int, audit Oracle) error) error {
+	wrap := func(base Oracle, i int) Oracle {
+		if seeds == nil || !opts.Retry.Enabled() {
+			return base
+		}
+		return withRetry(base, opts.Retry, rand.New(rand.NewSource(seeds[i])))
+	}
+	if opts.Lockstep {
+		return runLockstep(o, opts.Parallelism, n, func(i int, audit Oracle) error {
+			return fn(i, wrap(audit, i))
+		})
+	}
+	return RunBounded(opts.Parallelism, n, func(i int) error {
+		return fn(i, wrap(o, i))
+	})
+}
+
+// DelayOracle adds a fixed per-query wall-clock delay in front of an
+// oracle, modeling what dominates a real deployment: every HIT takes
+// time to come back from the crowd. It deliberately does NOT implement
+// BatchOracle — AsBatchOracle lifts it across a worker pool, so a
+// batched round overlaps its queries' round-trips the way concurrently
+// posted HITs do. Safe for concurrent use when Inner is.
+type DelayOracle struct {
+	Inner Oracle
+	Delay time.Duration
+}
+
+// SetQuery implements Oracle.
+func (o DelayOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	time.Sleep(o.Delay)
+	return o.Inner.SetQuery(ids, g)
+}
+
+// ReverseSetQuery implements Oracle.
+func (o DelayOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	time.Sleep(o.Delay)
+	return o.Inner.ReverseSetQuery(ids, g)
+}
+
+// PointQuery implements Oracle.
+func (o DelayOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	time.Sleep(o.Delay)
+	return o.Inner.PointQuery(id)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// roundRecorder is a native BatchOracle that logs, per committed
+// round, the object ids of the requests in commit order. Queries
+// encode their (task, seq) identity as id = task*1000 + seq, so the
+// fuzz harness can check canonical ordering without tracking any
+// other state.
+type roundRecorder struct {
+	mu     sync.Mutex
+	rounds [][]int
+}
+
+func (r *roundRecorder) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return false, nil
+}
+
+func (r *roundRecorder) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return false, nil
+}
+
+func (r *roundRecorder) PointQuery(id dataset.ObjectID) ([]int, error) { return nil, nil }
+
+func (r *roundRecorder) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	round := make([]int, len(reqs))
+	for i, req := range reqs {
+		round[i] = int(req.IDs[0])
+	}
+	r.rounds = append(r.rounds, round)
+	return make([]bool, len(reqs)), nil
+}
+
+func (r *roundRecorder) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	round := make([]int, len(ids))
+	for i, id := range ids {
+		round[i] = int(id)
+	}
+	r.rounds = append(r.rounds, round)
+	return make([][]int, len(ids)), nil
+}
+
+// FuzzLockstepOrder drives the lockstep scheduler with fuzz-chosen
+// task counts, per-task query counts, and scheduling jitter, and
+// asserts the invariant the whole determinism story rests on: no
+// matter in which order queries ARRIVE at the scheduler, every round
+// COMMITS exactly the canonical sequence — round r contains the r-th
+// query of every task that still has one, in task-index order.
+func FuzzLockstepOrder(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, uint8(3), uint8(4))
+	f.Add([]byte{0, 0, 0}, uint8(7), uint8(1))
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(5), uint8(16))
+	f.Add([]byte{}, uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, jitter []byte, tasksRaw, parRaw uint8) {
+		nTasks := int(tasksRaw%6) + 2       // 2..7 concurrent audit tasks
+		parallelism := int(parRaw%16) + 1   // pool width must never matter
+		byteAt := func(i int) byte {
+			if len(jitter) == 0 {
+				return 0
+			}
+			return jitter[i%len(jitter)]
+		}
+		// Task i issues 1..4 queries, picked by the fuzzer.
+		queries := make([]int, nTasks)
+		for i := range queries {
+			queries[i] = int(byteAt(i)%4) + 1
+		}
+
+		rec := &roundRecorder{}
+		err := runLockstep(rec, parallelism, nTasks, func(i int, audit Oracle) error {
+			for q := 0; q < queries[i]; q++ {
+				// Fuzz-controlled scheduling noise: some tasks sleep
+				// before submitting, randomizing arrival order.
+				if d := byteAt(i*31 + q*7); d%3 == 0 {
+					time.Sleep(time.Duration(d%8) * 10 * time.Microsecond)
+				}
+				id := []dataset.ObjectID{dataset.ObjectID(i*1000 + q)}
+				if _, err := audit.SetQuery(id, pattern.Group{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reconstruct the canonical schedule and compare.
+		var want [][]int
+		for r := 0; ; r++ {
+			var round []int
+			for i := 0; i < nTasks; i++ {
+				if queries[i] > r {
+					round = append(round, i*1000+r)
+				}
+			}
+			if len(round) == 0 {
+				break
+			}
+			want = append(want, round)
+		}
+		if len(rec.rounds) != len(want) {
+			t.Fatalf("committed %d rounds, want %d (queries=%v, rounds=%v)",
+				len(rec.rounds), len(want), queries, rec.rounds)
+		}
+		for r := range want {
+			if len(rec.rounds[r]) != len(want[r]) {
+				t.Fatalf("round %d: committed %v, want %v", r, rec.rounds[r], want[r])
+			}
+			for j := range want[r] {
+				if rec.rounds[r][j] != want[r][j] {
+					t.Fatalf("round %d position %d: committed %v, want canonical %v",
+						r, j, rec.rounds[r], want[r])
+				}
+			}
+		}
+	})
+}

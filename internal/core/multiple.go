@@ -235,6 +235,19 @@ type MultipleOptions struct {
 	// bridge) verdicts and task counts are identical to the sequential
 	// engine for every Parallelism value.
 	Parallelism int
+	// Lockstep replaces the free-running pool with the deterministic
+	// round scheduler (lockstep.go): concurrent audits park their
+	// oracle queries, whole rounds commit in canonical (super-group,
+	// member, query-sequence) order through one BatchOracle call, and
+	// the schedule never depends on Parallelism. With an oracle whose
+	// batches execute in request order (the crowd Platform, TruthOracle,
+	// any native BatchOracle honoring the contract) results are
+	// bit-for-bit identical at every Parallelism value even when
+	// answers depend on query order; Parallelism then only bounds the
+	// pool that lifts non-batching oracles, preserving the latency win
+	// of batched rounds. Order-independent oracles additionally
+	// reproduce the sequential engine exactly.
+	Lockstep bool
 	// Retry re-posts transiently failing HITs (ErrTransient) instead
 	// of aborting the audit; jitter is drawn from per-audit child RNGs
 	// split deterministically from Rng.
@@ -264,7 +277,7 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	if c < 0 || n < 1 || tau < 0 {
 		return nil, fmt.Errorf("core: invalid parameters (c=%d n=%d tau=%d)", c, n, tau)
 	}
-	if opts.Parallelism > 1 {
+	if opts.Lockstep || opts.Parallelism > 1 {
 		return multipleCoverageParallel(o, ids, n, tau, c, groups, opts)
 	}
 

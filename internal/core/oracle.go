@@ -39,6 +39,25 @@
 //   - GroupCoverageRounds (rounds.go) issues each tree level as one
 //     SetQueryBatch round, so even the order-dependent crowd simulator
 //     reproduces identical audits at every parallelism setting.
+//   - MultipleOptions.Lockstep (lockstep.go) extends that guarantee to
+//     the whole multi-group engine: concurrent audits advance in
+//     virtual rounds whose queries commit as one BatchOracle round in
+//     canonical (super-group, member, query-sequence) order, so even
+//     order-dependent oracles produce bit-identical verdicts, task
+//     counts and spend at every Parallelism value.
+//
+// The determinism contract, by oracle kind:
+//
+//   - order-independent oracles (TruthOracle, stateless crowd bridges,
+//     anything whose answer is a function of the request alone) are
+//     safe with the free-running pool: verdicts and task counts equal
+//     the sequential engine at any Parallelism, with or without
+//     Lockstep.
+//   - order-dependent oracles (the crowd Platform, whose worker draws
+//     advance an RNG per HIT; any stateful simulator or aggregator)
+//     need Lockstep for cross-parallelism reproducibility, and must
+//     implement BatchOracle natively with batches executing in request
+//     order — the property the canonical round commit leans on.
 package core
 
 import (

@@ -17,17 +17,24 @@ import (
 // deterministically from the seed so no goroutine ever shares
 // randomness. Results are assembled in super-group order, so with an
 // order-independent oracle the engine is bit-for-bit equivalent to
-// the sequential Algorithm 2 at every parallelism level.
+// the sequential Algorithm 2 at every parallelism level. With
+// MultipleOptions.Lockstep the audit rounds dispatch through the
+// lockstep scheduler (lockstep.go) instead of the free pool, extending
+// that equivalence to order-dependent oracles.
 
 // RunBounded runs fn(i) for every index in [0, n) across at most
-// parallelism goroutines and returns the lowest-indexed error among
-// the tasks that ran. Once any task fails, no further tasks are
-// dispatched — every query costs crowd money, so a doomed audit must
-// not keep posting HITs the sequential engine would never pay for.
-// The early stop means that when several tasks would fail, which
-// error surfaces can depend on scheduling; success paths stay fully
-// deterministic. Besides the audit engine, the experiment harness
-// reuses this pool to fan independent trials out across workers.
+// parallelism goroutines and returns the lowest-indexed error. Once a
+// task fails, tasks with HIGHER indices are no longer dispatched —
+// every query costs crowd money, so a doomed audit must not keep
+// posting HITs the sequential engine would never pay for — but tasks
+// with lower indices still run: they might fail at a lower index, and
+// running them is exactly what the sequential engine would have paid
+// for anyway. When each task's failure is a function of its own index
+// (not of shared call-order state), the surfaced error is therefore
+// deterministic under any scheduling: the lowest failing index, the
+// same error the sequential loop stops on. Besides the audit engine,
+// the experiment harness reuses this pool to fan independent trials
+// out across workers.
 func RunBounded(parallelism, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -44,7 +51,10 @@ func RunBounded(parallelism, n int, fn func(i int) error) error {
 		}
 		return firstError(errs)
 	}
-	var failed atomic.Bool
+	// minFailed is the lowest failing index observed so far; only
+	// tasks above it are skipped.
+	var minFailed atomic.Int64
+	minFailed.Store(int64(n))
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < parallelism; w++ {
@@ -52,11 +62,16 @@ func RunBounded(parallelism, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if failed.Load() {
+				if int64(i) > minFailed.Load() {
 					continue
 				}
 				if errs[i] = fn(i); errs[i] != nil {
-					failed.Store(true)
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 				}
 			}
 		}()
@@ -118,8 +133,10 @@ func LabelSamplesBatch(o BatchOracle, ids []dataset.ObjectID, k int, l *LabeledS
 }
 
 // multipleCoverageParallel is Algorithm 2 on the concurrent engine;
-// MultipleCoverage dispatches here when opts.Parallelism > 1 (inputs
-// already validated, c is the resolved sample factor).
+// MultipleCoverage dispatches here when opts.Parallelism > 1 or
+// opts.Lockstep is set (inputs already validated, c is the resolved
+// sample factor). The audit rounds dispatch through runAuditPool, so
+// the same phase structure runs free-running or in lockstep.
 func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, groups []pattern.Group, opts MultipleOptions) (*MultipleResult, error) {
 	res := &MultipleResult{
 		Results: make([]MultipleGroupResult, len(groups)),
@@ -129,11 +146,15 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	if opts.NoSampling {
 		budget = 0
 	}
+	batchWidth := opts.Parallelism
+	if batchWidth < 1 {
+		batchWidth = 1
+	}
 
 	// Sampling round: one batch of point queries. Retries, when
 	// enabled, wrap the inner oracle per query; the jitter RNG is the
 	// parent (the batch is issued before any audit goroutine starts).
-	sampler := AsBatchOracle(withRetry(o, opts.Retry, opts.Rng), opts.Parallelism)
+	sampler := AsBatchOracle(withRetry(o, opts.Retry, opts.Rng), batchWidth)
 	remaining, sampleTasks, err := LabelSamplesBatch(sampler, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
 		return nil, err
@@ -144,10 +165,10 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	plans := buildSuperPlans(res.Labeled, tau, groups, Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi))
 	seeds := splitSeeds(opts.Rng, len(plans))
 
-	// Round 1: every super-group union audit runs across the pool.
+	// Round 1: every super-group union audit runs across the pool (or
+	// in lockstep rounds, task index = super-group index).
 	unionRes := make([]GroupResult, len(plans))
-	err = RunBounded(opts.Parallelism, len(plans), func(si int) error {
-		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(seeds[si])))
+	err = runAuditPool(o, opts, seeds, len(plans), func(si int, audit Oracle) error {
 		var e error
 		unionRes[si], e = GroupCoverage(audit, remaining, n, plans[si].tauPrime, plans[si].union)
 		return e
@@ -157,22 +178,24 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	}
 
 	// Round 2: the covered-penalty re-audits — every member of every
-	// covered multi-member super-group — also fan out across the pool,
-	// each with its own child RNG mixed from the super's seed.
+	// covered multi-member super-group — also fan out, each with its
+	// own child RNG mixed from the super's seed; the canonical task
+	// order is (super-group index, member index).
 	type penaltyJob struct{ si, mi int }
 	var jobs []penaltyJob
+	var jobSeeds []int64
 	for si, plan := range plans {
 		if len(plan.members) > 1 && unionRes[si].Covered {
 			for mi := range plan.members {
 				jobs = append(jobs, penaltyJob{si, mi})
+				jobSeeds = append(jobSeeds, mixSeed(seeds[si], mi))
 			}
 		}
 	}
 	subRes := make([]GroupResult, len(jobs))
-	err = RunBounded(opts.Parallelism, len(jobs), func(j int) error {
+	err = runAuditPool(o, opts, jobSeeds, len(jobs), func(j int, audit Oracle) error {
 		job := jobs[j]
 		g := groups[plans[job.si].members[job.mi]]
-		audit := withRetry(o, opts.Retry, rand.New(rand.NewSource(mixSeed(seeds[job.si], job.mi))))
 		var e error
 		subRes[j], e = GroupCoverage(audit, remaining, n, clampTau(tau-res.Labeled.Count(g)), g)
 		return e

@@ -1,0 +1,189 @@
+package crowd
+
+// The cross-parallelism conformance matrix for the lockstep scheduler:
+// the FULL crowd-simulator pipeline — glyph-perceiving workers drawn
+// from the platform RNG, redundant assignments, majority or
+// reliability-weighted aggregation, a pricing model, the cost ledger,
+// and Dawid-Skene truth inference over the raw assignment log — must
+// be bit-for-bit identical at every engine Parallelism value when the
+// audit runs under MultipleOptions.Lockstep. Instances are generated
+// testing/quick-style from a seeded RNG; the whole suite also runs
+// under -race in CI, so the determinism claim is checked on genuinely
+// concurrent schedules.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// conformanceInstance is one randomized pipeline configuration.
+type conformanceInstance struct {
+	counts         []int
+	schema         *pattern.Schema
+	intersectional bool
+	tau, setSize   int
+	assignments    int
+	poolSize       int
+	weightedVote   bool
+	pricing        int // 0 fixed, 1 size, 2 posted
+	platformSeed   int64
+	auditSeed      int64
+}
+
+// generateInstance draws one instance; every knob of the pipeline is
+// randomized so the matrix covers the configuration space instead of
+// one hand-picked deployment.
+func generateInstance(rng *rand.Rand, intersectional bool) conformanceInstance {
+	inst := conformanceInstance{
+		intersectional: intersectional,
+		tau:            5 + rng.Intn(12),
+		setSize:        5 + rng.Intn(12),
+		assignments:    1 + 2*rng.Intn(2), // 1 or 3
+		poolSize:       8 + rng.Intn(12),
+		weightedVote:   rng.Intn(2) == 0,
+		pricing:        rng.Intn(3),
+		platformSeed:   rng.Int63(),
+		auditSeed:      rng.Int63(),
+	}
+	if intersectional {
+		inst.schema = pattern.MustSchema(
+			pattern.Attribute{Name: "a", Values: []string{"0", "1"}},
+			pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
+		)
+		inst.counts = []int{40 + rng.Intn(60), rng.Intn(12), 20 + rng.Intn(40), rng.Intn(12)}
+	} else {
+		inst.schema = pattern.MustSchema(
+			pattern.Attribute{Name: "group", Values: []string{"g0", "g1", "g2"}},
+		)
+		inst.counts = []int{60 + rng.Intn(80), rng.Intn(15), rng.Intn(15)}
+	}
+	return inst
+}
+
+// platformFor builds a fresh identically-configured platform for one
+// parallelism cell; the aggregator is rebuilt too, because
+// WeightedVote carries per-worker reliability state across HITs (the
+// very order-dependence lockstep must tame).
+func platformFor(t *testing.T, inst conformanceInstance, d *dataset.Dataset, log *ResponseLog) *Platform {
+	t.Helper()
+	cfg := DefaultConfig(inst.platformSeed)
+	cfg.Assignments = inst.assignments
+	cfg.Profile = DefaultProfile(inst.poolSize)
+	cfg.Responses = log
+	if inst.weightedVote {
+		cfg.Aggregator = NewWeightedVote(0.9)
+	}
+	switch inst.pricing {
+	case 1:
+		cfg.Pricing = SizePricing{Base: 0.05, PerImage: 0.002}
+	case 2:
+		cfg.Pricing = PostedPricing{Posted: 0.08, ReservationMean: 0.05}
+	}
+	p, err := NewPlatform(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runConformanceCell executes one (instance, parallelism) cell under
+// lockstep and serializes everything observable: the audit result, the
+// task counts, the ledger (spend), the HIT transcript length, and the
+// Dawid-Skene estimate over the raw assignment log.
+func runConformanceCell(t *testing.T, inst conformanceInstance, parallelism int) string {
+	t.Helper()
+	d := dataset.MustFromCounts(inst.schema, inst.counts, rand.New(rand.NewSource(inst.platformSeed+1)))
+	log := &ResponseLog{}
+	p := platformFor(t, inst, d, log)
+	opts := core.MultipleOptions{
+		Rng:         rand.New(rand.NewSource(inst.auditSeed)),
+		Parallelism: parallelism,
+		Lockstep:    true,
+	}
+	var audit string
+	if inst.intersectional {
+		res, err := core.IntersectionalCoverage(p, d.IDs(), inst.setSize, inst.tau, inst.schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit = fmt.Sprintf("%+v|%+v|%d|%d", res.Verdicts, res.MUPs, res.ResolutionTasks, res.Tasks)
+	} else {
+		groups := pattern.GroupsForAttribute(inst.schema, 0)
+		res, err := core.MultipleCoverage(p, d.IDs(), inst.setSize, inst.tau, groups, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit = fmt.Sprintf("%+v|%+v|%d|%d|%d", res.Results, res.SuperAudits,
+			res.SampleTasks, res.AuditTasks, res.Tasks)
+	}
+
+	// Spend: the full ledger snapshot, dollar amounts included.
+	spend := p.Ledger().Snapshot().String()
+
+	// Truth inference over the raw transcript: identical logs must
+	// yield identical Dawid-Skene truths and worker accuracies.
+	ds := "no-hits"
+	if log.HITs() > 0 {
+		res, err := DawidSkene(log.HITs(), p.PoolSize(), 2, log.Responses(), 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = fmt.Sprintf("%v|%.9v|%d", res.Truth, res.WorkerAccuracy, res.Iterations)
+	}
+	return fmt.Sprintf("audit=%s\nspend=%s\nhits=%d\ndawid-skene=%s", audit, spend, log.HITs(), ds)
+}
+
+// TestLockstepCrossParallelismConformance is the conformance matrix:
+// >= 50 randomized crowd-pipeline instances, each run at P in
+// {1, 2, 4, 16} under lockstep, asserting byte-identical verdicts,
+// task counts, spend, and truth-inference output.
+func TestLockstepCrossParallelismConformance(t *testing.T) {
+	instances := 50
+	if testing.Short() {
+		instances = 12
+	}
+	rng := rand.New(rand.NewSource(20240))
+	for i := 0; i < instances; i++ {
+		inst := generateInstance(rng, i%3 == 2)
+		kind := "multiple"
+		if inst.intersectional {
+			kind = "intersectional"
+		}
+		t.Run(fmt.Sprintf("%02d-%s", i, kind), func(t *testing.T) {
+			var base string
+			for _, par := range []int{1, 2, 4, 16} {
+				got := runConformanceCell(t, inst, par)
+				if par == 1 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Fatalf("parallelism %d diverged from parallelism 1:\n--- P=%d ---\n%s\n--- P=1 ---\n%s\n(instance %+v)",
+						par, par, got, base, inst)
+				}
+			}
+		})
+	}
+}
+
+// TestFreeRunningCrowdAuditMayDiverge documents the boundary of the
+// contract: without lockstep the free-running pool consumes the
+// platform RNG in arrival order, so the conformance property belongs
+// to Lockstep specifically (this test asserts only that lockstep runs
+// reproduce themselves — it does NOT assert the free pool diverges,
+// which would be a flaky claim about scheduling).
+func TestLockstepCrowdAuditReproducesItself(t *testing.T) {
+	rng := rand.New(rand.NewSource(20241))
+	inst := generateInstance(rng, false)
+	first := runConformanceCell(t, inst, 4)
+	for rep := 0; rep < 3; rep++ {
+		if got := runConformanceCell(t, inst, 4); got != first {
+			t.Fatalf("rep %d: identical lockstep run diverged:\n%s\nvs\n%s", rep, got, first)
+		}
+	}
+}

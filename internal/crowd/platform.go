@@ -38,6 +38,11 @@ type Config struct {
 	Rating *RatingFilter
 	// Profile configures the worker pool.
 	Profile PoolProfile
+	// Responses, when non-nil, records every yes/no assignment in
+	// platform commit order — the sequencing hook for batch truth
+	// inference (DawidSkene) and for conformance tests that compare
+	// whole HIT transcripts across engine parallelism levels.
+	Responses *ResponseLog
 	// Seed drives all platform randomness.
 	Seed int64
 }
@@ -69,7 +74,11 @@ func DefaultConfig(seed int64) Config {
 // reproducible parallel audits should post whole rounds through
 // SetQueryBatch/PointQueryBatch: a batch holds the lock once and
 // answers in request order, so identically-seeded runs reproduce the
-// same answers at any parallelism level.
+// same answers at any parallelism level. The core engine's lockstep
+// scheduler (core.MultipleOptions.Lockstep) does exactly that — it
+// collects each virtual round's queries, orders them canonically, and
+// commits them here as one batch — which makes even multi-group audits
+// through this platform bit-identical at every Parallelism value.
 type Platform struct {
 	ds       *dataset.Dataset
 	renderer *imagegen.Renderer
@@ -269,6 +278,9 @@ func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse boo
 	kind := SetQuery
 	if reverse {
 		kind = ReverseSetQuery
+	}
+	if p.cfg.Responses != nil {
+		p.cfg.Responses.record(workers, answers)
 	}
 	p.ledger.Record(kind, len(workers), p.cfg.Pricing.AssignmentPrice(kind, len(ids)))
 	return p.cfg.Aggregator.AggregateBool(workers, answers), nil

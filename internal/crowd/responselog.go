@@ -1,0 +1,53 @@
+package crowd
+
+import "sync"
+
+// ResponseLog is the platform's sequencing hook: when installed via
+// Config.Responses it records every raw worker assignment of every
+// yes/no HIT (set and reverse-set queries) in platform commit order,
+// before aggregation. The log is what batch truth-inference consumers
+// need — DawidSkene runs directly over Responses() — and what the
+// lockstep conformance suite compares across parallelism levels: two
+// runs commit the same HIT sequence if and only if their logs are
+// identical, a strictly stronger check than comparing verdicts.
+//
+// The log has its own lock, so it is safe to share across platforms
+// or read while a deployment is running.
+type ResponseLog struct {
+	mu        sync.Mutex
+	responses []Response
+	hits      int
+}
+
+// record appends one HIT's assignments; answers[i] is workers[i]'s raw
+// (pre-aggregation) answer.
+func (l *ResponseLog) record(workers []*Worker, answers []bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	task := l.hits
+	l.hits++
+	for i, w := range workers {
+		value := 0
+		if answers[i] {
+			value = 1
+		}
+		l.responses = append(l.responses, Response{Task: task, Worker: w.ID, Value: value})
+	}
+}
+
+// HITs returns the number of logged HITs.
+func (l *ResponseLog) HITs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits
+}
+
+// Responses returns a copy of the assignment log in commit order,
+// ready for DawidSkene (tasks are HIT indices, classes are {no, yes}).
+func (l *ResponseLog) Responses() []Response {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Response, len(l.responses))
+	copy(out, l.responses)
+	return out
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// harness byte-for-byte. Concurrent trials that share an oracle
 	// require it to be concurrency-safe.
 	Parallelism int
+	// Lockstep asks the trial body to run its audits on the
+	// deterministic lockstep scheduler (core.MultipleOptions.Lockstep)
+	// instead of the free-running pool. The engine itself only passes
+	// the knob through to Trial.Lockstep — it is the trial body that
+	// wires it into its audit options — but carrying it in the Config
+	// keeps a whole grid's cells reproducible across the
+	// engine-parallelism axis even when their oracles are
+	// order-dependent (the crowd simulator).
+	Lockstep bool
 	// Oracle optionally builds the oracle a trial audits through. Nil
 	// when the trial body constructs its own (the common case: each
 	// trial generates its own dataset). Use SharedCache to hand every
@@ -84,6 +93,9 @@ type Trial struct {
 	// Rng is a fresh child RNG seeded with Seed. No other trial ever
 	// touches it.
 	Rng *rand.Rand
+	// Lockstep echoes Config.Lockstep: the trial body should run its
+	// audits with core.MultipleOptions.Lockstep set accordingly.
+	Lockstep bool
 	// Oracle is the cell's shared oracle when Config.Oracle is set;
 	// nil otherwise.
 	Oracle core.Oracle
@@ -226,9 +238,10 @@ func RunMany[T any](cfgs []Config, fn func(cell int, t Trial) (T, error)) ([]*Re
 		}
 		cfg := &results[cell].Config
 		t := Trial{
-			Cell:  cell,
-			Index: index,
-			Seed:  cfg.Seed + int64(index),
+			Cell:     cell,
+			Index:    index,
+			Seed:     cfg.Seed + int64(index),
+			Lockstep: cfg.Lockstep,
 		}
 		t.Rng = rand.New(rand.NewSource(t.Seed))
 		if cfg.Oracle != nil {

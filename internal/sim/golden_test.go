@@ -1,0 +1,93 @@
+package sim
+
+// Golden-file regression for the harness artifacts: the files under
+// testdata/ hold each experiment's rendering produced by the
+// SEQUENTIAL engine (trial-parallelism 1, free-running audits), and
+// the test re-runs every experiment on a 4-wide trial pool with the
+// lockstep scheduler enabled — so one comparison pins three properties
+// at once: the artifact itself (any behavioral drift fails), the
+// trial-parallelism invariance of the harness, and the lockstep
+// engine's exact agreement with the sequential engine on
+// order-independent oracles.
+//
+// Regenerate after an intentional output change with
+//
+//	go test ./internal/sim -run TestGolden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imagecvg/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the sequential engine")
+
+// goldenExcluded lists artifacts whose rendering carries wall-clock
+// measurements and therefore cannot be byte-compared across machines.
+var goldenExcluded = map[string]string{
+	"lockstep-latency": "renders wall-clock; covered by the benchmark history gate instead",
+}
+
+// canonicalArtifact renders an experiment result without its
+// wall-clock columns. Only the sweep carries timing in its table; its
+// deterministic content (the grid's task counts and the cache
+// summary) is re-rendered from the structured rows.
+func canonicalArtifact(res fmt.Stringer) string {
+	sr, ok := res.(*SweepResult)
+	if !ok {
+		return res.String()
+	}
+	t := stats.NewTable("N", "tau", "engine parallelism", "Multiple-Coverage tasks")
+	for _, row := range sr.Rows {
+		t.AddRow(row.N, row.Tau, row.Parallelism, fmt.Sprintf("%.1f", row.Tasks))
+	}
+	c := stats.NewTable("N", "tau", "cache hit rate", "paid HITs")
+	for _, w := range sr.Workloads {
+		c.AddRow(w.N, w.Tau, fmt.Sprintf("%.2f", w.HitRate), w.PaidTasks)
+	}
+	return fmt.Sprintf("Sweep (timing elided): N x tau x engine-parallelism (n=%d)\n%s\nshared query cache per workload:\n%s",
+		sr.Params.SetSize, t.String(), c.String())
+}
+
+func TestGoldenLockstepMatchesSequentialEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-harness golden comparison skipped in -short")
+	}
+	for _, e := range Experiments() {
+		if _, skip := goldenExcluded[e.ID]; skip {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *update {
+				res, err := e.Run(Options{Seed: 42, Trials: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(canonicalArtifact(res)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to generate): %v", err)
+			}
+			res, err := e.Run(Options{Seed: 42, Trials: 2, Parallelism: 4, Lockstep: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := canonicalArtifact(res); got != string(want) {
+				t.Errorf("lockstep output at trial-parallelism 4 diverged from the sequential golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestLockstepLatencyRetainsSpeedup is the acceptance gate for the
+// lockstep scheduler's wall-clock: under per-HIT crowd latency the
+// batched rounds must keep at least a 2x win over the sequential
+// engine at parallelism 4 (measured ~2.5-3x; latency, not CPU, is the
+// bottleneck, so the bound holds on single-core CI too), while issuing
+// the identical task counts.
+func TestLockstepLatencyRetainsSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-bound benchmark skipped in -short")
+	}
+	res, err := RunLockstepLatency(DefaultLatencyParams(), Options{Seed: 42, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Tasks != res.Rows[1].Tasks {
+		t.Errorf("task counts diverged between engines: sequential %.1f, lockstep %.1f",
+			res.Rows[0].Tasks, res.Rows[1].Tasks)
+	}
+	if s := res.Speedup(); s < 2.0 {
+		t.Errorf("lockstep speedup %.2fx at parallelism %d, want >= 2x\n%s",
+			s, res.Params.Parallelism, res)
+	}
+}
+
+// TestSweepLockstepInvariant: the sweep's engine-parallelism axis must
+// render the identical grid with the lockstep scheduler switched on —
+// the Config pass-through from Options to the trial bodies.
+func TestSweepLockstepInvariant(t *testing.T) {
+	p := SweepParams{
+		Ns:             []int{2_000},
+		Taus:           []int{25},
+		Parallelisms:   []int{1, 4},
+		SetSize:        50,
+		MinorityCounts: []int{10, 8, 6},
+	}
+	free, err := RunSweep(p, Options{Seed: 23, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := RunSweep(p, Options{Seed: 23, Trials: 2, Parallelism: 4, Lockstep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range free.Rows {
+		if free.Rows[i].Tasks != lock.Rows[i].Tasks {
+			t.Errorf("row %d: tasks %.1f free-running vs %.1f lockstep",
+				i, free.Rows[i].Tasks, lock.Rows[i].Tasks)
+		}
+	}
+	if len(free.Workloads) != len(lock.Workloads) {
+		t.Fatalf("workload count diverged")
+	}
+	for i := range free.Workloads {
+		if free.Workloads[i] != lock.Workloads[i] {
+			t.Errorf("workload %d cache summary diverged: %+v vs %+v",
+				i, free.Workloads[i], lock.Workloads[i])
+		}
+	}
+}

@@ -39,6 +39,13 @@ type Options struct {
 	// the trials sequentially and reproduces the pre-engine harness
 	// byte-for-byte. Results are identical at every width.
 	Parallelism int
+	// Lockstep runs every audit inside the trials on the deterministic
+	// lockstep scheduler (core.MultipleOptions.Lockstep), so even cells
+	// with order-dependent oracles reproduce bit-identical artifacts
+	// across the engine-parallelism axis. Experiments whose oracles are
+	// order-independent (the TruthOracle-backed figures) render the
+	// identical artifact with or without it.
+	Lockstep bool
 	// Timing optionally collects per-trial wall-clock across the
 	// experiment's cells (surfaced by cvgbench).
 	Timing *experiment.Recorder
@@ -52,6 +59,7 @@ func (o Options) cell(name string, seedOffset int64) experiment.Config {
 		Seed:        o.Seed + seedOffset,
 		Trials:      o.Trials,
 		Parallelism: o.Parallelism,
+		Lockstep:    o.Lockstep,
 		Timing:      o.Timing,
 	}
 }
@@ -196,6 +204,13 @@ func Experiments() []Experiment {
 			Description: "N x tau x engine-parallelism grid on the trial-runner, shared query cache across the parallelism axis",
 			Run: func(o Options) (fmt.Stringer, error) {
 				return RunSweep(DefaultSweepParams(), o)
+			},
+		},
+		{
+			ID: "lockstep-latency", Paper: "extension",
+			Description: "latency-bound wall-clock of the lockstep scheduler vs the sequential engine (per-HIT round-trip delay)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunLockstepLatency(DefaultLatencyParams(), o)
 			},
 		},
 	}

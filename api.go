@@ -286,10 +286,24 @@ func (a *Auditor) AuditIntersectional(ids []ObjectID, s *Schema) (*Intersectiona
 }
 
 // AuditWithClassifier audits one group using a pre-trained
-// classifier's predicted-positive set (Algorithm 4).
+// classifier's predicted-positive set (Algorithm 4). With
+// WithParallelism the audit runs on the batched round engine — the
+// precision sample posts as one point-query round, the Label phase as
+// bounded rounds with a deterministic early stop, and the Partition
+// phase as one reverse-set round per tree level — and with
+// WithLockstep those rounds commit through the deterministic
+// scheduler, making the full result bit-identical at every
+// WithParallelism value even through the order-dependent simulated
+// crowd. Results equal the sequential engine exactly for
+// order-independent oracles.
 func (a *Auditor) AuditWithClassifier(ids, predicted []ObjectID, g Group) (ClassifierResult, error) {
 	return core.ClassifierCoverage(a.oracle, ids, predicted, a.setSize, a.tau, g,
-		core.ClassifierOptions{Rng: rand.New(rand.NewSource(a.seed))})
+		core.ClassifierOptions{
+			Rng:         rand.New(rand.NewSource(a.seed)),
+			Parallelism: a.parallelism,
+			Lockstep:    a.lockstep,
+			Retry:       a.retry,
+		})
 }
 
 // SimulatedCrowd is an Oracle backed by the full crowdsourcing

@@ -256,6 +256,52 @@ func BenchmarkMultipleLatencyLockstep4(b *testing.B) { benchmarkMultipleLatency(
 // width, the ceiling lockstep is measured against.
 func BenchmarkMultipleLatencyFree4(b *testing.B) { benchmarkMultipleLatency(b, 4, false) }
 
+// benchmarkClassifierLatency measures ONE Classifier-Coverage audit
+// under per-HIT latency on the chosen engine. The workload is the
+// paper's precise-classifier regime (Table 2 FERET rows): a large
+// predicted set whose precision sample dominates the sequential
+// wall-clock, followed by a Partition phase whose first frontier is a
+// wide reverse-set round — both phases the batched engine overlaps
+// across the pool while committing the sequential engine's exact task
+// breakdown.
+func benchmarkClassifierLatency(b *testing.B, parallelism int, lockstep bool) {
+	ds, err := GenerateBinary(2_000, 400, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := FemaleGroup(ds.Schema())
+	// 380 true positives, 8 false positives: ~2% estimated FP rate
+	// picks partitioning.
+	predicted := ds.PredictedSet(g, 380, 8)
+	ids := ds.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := core.DelayOracle{Inner: core.NewTruthOracle(ds), Delay: 300 * time.Microsecond}
+		auditor := NewAuditor(oracle, 50, 25).WithSeed(benchSeed).WithParallelism(parallelism)
+		if lockstep {
+			auditor = auditor.WithLockstep()
+		}
+		if _, err := auditor.AuditWithClassifier(ids, predicted, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifierLatencySequential is the sequential Algorithm 4/5
+// baseline: every sampling and cleanup HIT pays its full round-trip in
+// series.
+func BenchmarkClassifierLatencySequential(b *testing.B) { benchmarkClassifierLatency(b, 1, false) }
+
+// BenchmarkClassifierLatencyLockstep4 runs the identical audit on the
+// batched round engine with lockstep commits at parallelism 4 (>= 2x
+// wall-clock win with bit-identical results at any width).
+func BenchmarkClassifierLatencyLockstep4(b *testing.B) { benchmarkClassifierLatency(b, 4, true) }
+
+// BenchmarkClassifierLatencyFree4 is the free-running batched engine
+// at the same width.
+func BenchmarkClassifierLatencyFree4(b *testing.B) { benchmarkClassifierLatency(b, 4, false) }
+
 // --- micro-benchmarks of the core machinery --------------------------------
 
 // BenchmarkGroupCoverage100K measures one Group-Coverage audit at the

@@ -195,15 +195,16 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("cvgbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
-		seed     = fs.Int64("seed", 42, "base random seed")
-		trials   = fs.Int("trials", 3, "repetitions averaged per configuration")
-		trialPar = fs.Int("trial-parallelism", 1, "trial-runner worker pool width (1 = sequential harness; results are identical at any width)")
-		lockstep = fs.Bool("lockstep", false, "run every audit on the deterministic lockstep scheduler (bit-identical artifacts across the engine-parallelism axis, order-dependent oracles included)")
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		jsonPath = fs.String("json", "", "append benchmark records (ns/op, HIT counts) to a JSON history keyed by git SHA + timestamp, e.g. BENCH_core.json")
-		baseline = fs.Bool("baseline", false, "with -json: report deltas against the history's previous run")
-		failPct  = fs.Float64("fail-regression", 0, "with -json: exit 3 when any experiment's ns/op regresses by more than this percentage vs the history's previous comparable run (0 disables); CI points this at the latency-bound lockstep benchmark")
+		exp       = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed      = fs.Int64("seed", 42, "base random seed")
+		trials    = fs.Int("trials", 3, "repetitions averaged per configuration")
+		trialPar  = fs.Int("trial-parallelism", 1, "trial-runner worker pool width (1 = sequential harness; results are identical at any width)")
+		lockstep  = fs.Bool("lockstep", false, "run every audit on the deterministic lockstep scheduler (bit-identical artifacts across the engine-parallelism axis, order-dependent oracles included)")
+		enginePar = fs.Int("engine-parallelism", 0, "override the audit engine's worker pool width inside each trial of the experiments with a fixed engine width (table2, classifier-strategy, figure7e-h); 0 keeps their defaults, and experiments that sweep parallelism themselves (sweep, lockstep-latency) keep their own axes — artifacts are identical at any width")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		jsonPath  = fs.String("json", "", "append benchmark records (ns/op, HIT counts) to a JSON history keyed by git SHA + timestamp, e.g. BENCH_core.json")
+		baseline  = fs.Bool("baseline", false, "with -json: report deltas against the history's previous run")
+		failPct   = fs.Float64("fail-regression", 0, "with -json: exit 3 when any experiment's ns/op regresses by more than this percentage vs the history's previous comparable run (0 disables); CI points this at the latency-bound lockstep benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -226,7 +227,8 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	timing := experiment.NewRecorder()
-	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar, Lockstep: *lockstep, Timing: timing}
+	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar,
+		Lockstep: *lockstep, EngineParallelism: *enginePar, Timing: timing}
 
 	var records []benchRecord
 	runOne := func(e sim.Experiment) error {

@@ -10,12 +10,14 @@
 //	cvgrun -data faces.json -mode intersectional -crowd
 //	cvgrun -data faces.json -mode attribute -attr gender
 //	cvgrun -data faces.json -mode attribute -crowd -parallelism 8 -lockstep
+//	cvgrun -data faces.json -mode classifier -group "1" -accuracy 0.95 -precision 0.9 -parallelism 4 -lockstep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	"imagecvg"
@@ -29,17 +31,19 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("cvgrun", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		data     = fs.String("data", "", "dataset JSON file (required)")
-		mode     = fs.String("mode", "group", "audit mode: group, base, attribute, intersectional, repair")
-		groupStr = fs.String("group", "", "pattern of the audited group, e.g. \"1\" or \"X1\" (group/base modes)")
-		attr     = fs.String("attr", "", "attribute name (attribute mode)")
-		tau      = fs.Int("tau", 50, "coverage threshold")
-		n        = fs.Int("n", 50, "set-query size upper bound")
-		seed     = fs.Int64("seed", 1, "random seed")
-		useCrowd = fs.Bool("crowd", false, "audit through the simulated crowd instead of ground truth")
-		par      = fs.Int("parallelism", 1, "worker pool size of the concurrent audit engine (<=1 sequential)")
-		lockstep = fs.Bool("lockstep", false, "schedule concurrent audits in deterministic lockstep rounds (bit-identical results at any -parallelism, even through the order-dependent simulated crowd)")
-		cache    = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
+		data      = fs.String("data", "", "dataset JSON file (required)")
+		mode      = fs.String("mode", "group", "audit mode: group, base, attribute, intersectional, repair, classifier")
+		groupStr  = fs.String("group", "", "pattern of the audited group, e.g. \"1\" or \"X1\" (group/base/classifier modes)")
+		attr      = fs.String("attr", "", "attribute name (attribute mode)")
+		accuracy  = fs.Float64("accuracy", 0.95, "simulated classifier's overall accuracy (classifier mode)")
+		precision = fs.Float64("precision", 0.90, "simulated classifier's precision on the audited group (classifier mode)")
+		tau       = fs.Int("tau", 50, "coverage threshold")
+		n         = fs.Int("n", 50, "set-query size upper bound")
+		seed      = fs.Int64("seed", 1, "random seed")
+		useCrowd  = fs.Bool("crowd", false, "audit through the simulated crowd instead of ground truth")
+		par       = fs.Int("parallelism", 1, "worker pool size of the concurrent audit engine (<=1 sequential)")
+		lockstep  = fs.Bool("lockstep", false, "schedule concurrent audits in deterministic lockstep rounds (bit-identical results at any -parallelism, even through the order-dependent simulated crowd)")
+		cache     = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +97,48 @@ func run(args []string, out, errOut io.Writer) int {
 		} else {
 			res, err = auditor.AuditBaseline(ds.IDs(), g)
 		}
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		fmt.Fprintln(out, res)
+	case "classifier":
+		if *groupStr == "" {
+			fmt.Fprintln(errOut, "cvgrun: -group is required for classifier mode")
+			return 2
+		}
+		p, err := imagecvg.ParsePattern(ds.Schema(), *groupStr)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		g := imagecvg.GroupOf(p.Format(ds.Schema()), p)
+		pos := 0
+		for i := 0; i < ds.Size(); i++ {
+			if g.Matches(ds.At(i).Labels) {
+				pos++
+			}
+		}
+		// A simulated predictor realizing the requested statistics
+		// stands in for the user's pre-trained model; the audit itself
+		// only consumes the predicted-positive set.
+		model, err := imagecvg.NewSimulatedClassifier("simulated", pos, ds.Size()-pos, *accuracy, *precision)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		predicted, err := model.Predict(ds, g, rand.New(rand.NewSource(*seed+1)))
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		conf, err := imagecvg.EvaluateClassifier(ds, g, predicted)
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "classifier: %s over %d predicted positives\n", conf, len(predicted))
+		res, err := auditor.AuditWithClassifier(ds.IDs(), predicted, g)
 		if err != nil {
 			fmt.Fprintln(errOut, "cvgrun:", err)
 			return 1

@@ -108,6 +108,45 @@ func TestParallelCachedAttributeMode(t *testing.T) {
 	}
 }
 
+func TestClassifierMode(t *testing.T) {
+	path := writeDataset(t, 600, 200)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "classifier", "-group", "1",
+		"-tau", "50", "-n", "25", "-precision", "0.95", "-parallelism", "4", "-lockstep"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "classifier:") || !strings.Contains(out.String(), "via partition") {
+		t.Errorf("classifier output incomplete:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "covered") {
+		t.Errorf("200 >= 50 should be covered:\n%s", out.String())
+	}
+}
+
+// TestClassifierLockstepCrowdInvariantAcrossParallelism: the
+// classifier audit through the simulated crowd with -lockstep must
+// print byte-identical output (verdict, strategy, task breakdown,
+// dollar cost) at every -parallelism value.
+func TestClassifierLockstepCrowdInvariantAcrossParallelism(t *testing.T) {
+	path := writeDataset(t, 300, 80)
+	audit := func(parallelism string) string {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-data", path, "-mode", "classifier", "-group", "1",
+			"-tau", "30", "-n", "15", "-crowd", "-seed", "5", "-parallelism", parallelism, "-lockstep"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("parallelism %s: exit = %d, stderr: %s", parallelism, code, errOut.String())
+		}
+		return out.String()
+	}
+	base := audit("1")
+	for _, p := range []string{"4", "16"} {
+		if got := audit(p); got != base {
+			t.Errorf("-lockstep classifier output diverged at -parallelism %s:\n%s\nvs\n%s", p, got, base)
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	path := writeDataset(t, 50, 5)
 	cases := []struct {
@@ -118,6 +157,8 @@ func TestCLIErrors(t *testing.T) {
 		{"missing data", []string{"-mode", "group"}, 2},
 		{"missing file", []string{"-data", "/no/such/file.json"}, 1},
 		{"missing group", []string{"-data", path, "-mode", "group"}, 2},
+		{"classifier missing group", []string{"-data", path, "-mode", "classifier"}, 2},
+		{"classifier degenerate precision", []string{"-data", path, "-mode", "classifier", "-group", "1", "-precision", "0.5"}, 1},
 		{"bad pattern", []string{"-data", path, "-mode", "group", "-group", "XX9"}, 1},
 		{"unknown attr", []string{"-data", path, "-mode", "attribute", "-attr", "planet"}, 1},
 		{"unknown mode", []string{"-data", path, "-mode", "dance"}, 2},

@@ -43,9 +43,13 @@
 //   - Auditor.WithParallelism schedules independent super-group audits
 //     (and the covered-penalty re-audits) of Multiple-Coverage across
 //     a bounded worker pool, with per-audit child RNGs split
-//     deterministically from the seed. With an order-independent
-//     oracle the verdicts and task counts are identical to the
-//     sequential engine at every parallelism level.
+//     deterministically from the seed, and runs Classifier-Coverage on
+//     its batched round engine (one point-query round for the
+//     precision sample, bounded Label rounds with a deterministic
+//     early stop, one reverse-set round per Partition tree level).
+//     With an order-independent oracle the verdicts and task counts
+//     are identical to the sequential engine at every parallelism
+//     level.
 //   - Auditor.WithCache interposes a deduplicating query cache keyed
 //     on the canonicalized id-set and group, so a HIT already paid for
 //     is never posted twice; transient errors are never cached, and

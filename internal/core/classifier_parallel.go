@@ -1,0 +1,269 @@
+package core
+
+import (
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// This file is the batched round engine behind
+// ClassifierOptions.Parallelism / Lockstep — Algorithm 4/5 with every
+// phase posting whole rounds of HITs instead of one at a time:
+//
+//   - the precision sample (line 2-3) becomes a single point-query
+//     round over the same objects, in the same order, the sequential
+//     loop would draw (both engines share the Rng.Perm consumption);
+//   - the Label phase (Algorithm 5) issues bounded rounds of point
+//     queries over the unsampled predicted objects and commits the
+//     answers in predicted-set order with a deterministic early stop:
+//     each round posts exactly max(1, tau - verified) queries — the
+//     confirmations still missing — and the walk stops at the first
+//     index where verified >= tau, discarding later in-flight answers;
+//   - the Partition phase (Algorithm 5) walks the divide-and-conquer
+//     tree level-by-level, issuing each frontier as one reverse-set
+//     round and committing the answers in frontier order with the
+//     sequential engine's sibling inference and early stop intact (an
+//     inferred sibling's in-flight answer is discarded, and a commit
+//     walk that reaches stopAt discards the rest of its level).
+//
+// Round composition is a pure function of previously committed answers
+// — never of Parallelism — so the engine is level-synchronous by
+// construction: with Lockstep the rounds commit through the canonical
+// lockstep scheduler as one BatchOracle batch in issue order, making
+// the full ClassifierResult bit-identical at every Parallelism value
+// even through order-dependent oracles like the crowd Platform.
+// Without Lockstep the rounds fan out across the free-running bounded
+// pool, which overlaps per-HIT round-trips the same way but lets an
+// order-dependent oracle consume its state in arrival order.
+//
+// Determinism vs cost: the commit walks replicate the sequential
+// loops' visit order exactly, so Strategy, Count, Exact and the task
+// breakdown equal the sequential engine's for order-independent
+// oracles — Tasks counts committed queries only. The price of posting
+// rounds speculatively is over-issue: answers the early stop or the
+// sibling inference discards were still real HITs (the same tradeoff
+// GroupCoverageRounds documents), bounded per phase by one round.
+
+// classifierEngine dispatches one phase round at a time through
+// runAuditPool, one pool task per in-flight query: under Lockstep the
+// round commits as one canonical BatchOracle batch, otherwise the
+// queries fan out across the free-running bounded pool.
+type classifierEngine struct {
+	o    Oracle
+	opts MultipleOptions
+}
+
+// pointRound posts one round of point queries and returns the labels
+// positionally.
+func (e *classifierEngine) pointRound(ids []dataset.ObjectID) ([][]int, error) {
+	labels := make([][]int, len(ids))
+	err := runAuditPool(e.o, e.opts, nil, len(ids), func(i int, audit Oracle) error {
+		var qerr error
+		labels[i], qerr = audit.PointQuery(ids[i])
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// reverseRound posts one round of reverse set queries ("is anyone here
+// NOT in g?") and returns the answers positionally.
+func (e *classifierEngine) reverseRound(sets [][]dataset.ObjectID, g pattern.Group) ([]bool, error) {
+	answers := make([]bool, len(sets))
+	err := runAuditPool(e.o, e.opts, nil, len(sets), func(i int, audit Oracle) error {
+		var qerr error
+		answers[i], qerr = audit.ReverseSetQuery(sets[i], g)
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// classifierCoverageParallel is Algorithm 4 on the batched round
+// engine; ClassifierCoverage dispatches here when opts.Lockstep or
+// opts.Parallelism > 1 (inputs already validated, defaults resolved,
+// predicted non-empty).
+func classifierCoverageParallel(o Oracle, ids, predicted []dataset.ObjectID, inPredicted map[dataset.ObjectID]bool, n, tau int, g pattern.Group, opts ClassifierOptions, res ClassifierResult) (ClassifierResult, error) {
+	e := &classifierEngine{o: o, opts: MultipleOptions{
+		Parallelism: opts.Parallelism,
+		Lockstep:    opts.Lockstep,
+	}}
+
+	// Line 2-3: estimate precision on a sample of G, posted as one
+	// point-query round over exactly the objects — in exactly the order
+	// — the sequential loop would draw.
+	sampleSize := sampleBudget(opts.SampleFraction, len(predicted))
+	sample := make([]dataset.ObjectID, 0, sampleSize)
+	for _, idx := range opts.Rng.Perm(len(predicted))[:sampleSize] {
+		sample = append(sample, predicted[idx])
+	}
+	labels, err := e.pointRound(sample)
+	if err != nil {
+		return res, err
+	}
+	sampled := make(map[dataset.ObjectID]bool, sampleSize)
+	truePos := 0
+	for i, id := range sample {
+		res.SampleTasks++
+		sampled[id] = true
+		if g.Matches(labels[i]) {
+			truePos++
+		}
+	}
+	res.EstFPRate = 1 - float64(truePos)/float64(sampleSize)
+
+	// Line 4-5: eliminate false positives, one batched phase per
+	// strategy.
+	verified := 0
+	var exactClean bool
+	if res.EstFPRate < opts.FPRateThreshold {
+		res.Strategy = StrategyPartition
+		confirmed, drained, tasks, err := e.partitionCleanRounds(predicted, n, tau, g)
+		if err != nil {
+			return res, err
+		}
+		res.CleanupTasks = tasks
+		verified = confirmed
+		exactClean = drained
+	} else {
+		res.Strategy = StrategyLabel
+		var tasks int
+		verified, exactClean, tasks, err = e.labelCleanRounds(predicted, sampled, truePos, tau, g)
+		if err != nil {
+			return res, err
+		}
+		res.CleanupTasks = tasks
+	}
+
+	return classifierFinish(o, ids, inPredicted, n, tau, verified, exactClean, g, res)
+}
+
+// labelCleanRounds is the Label function of Algorithm 5 in bounded
+// rounds: it point-labels the unsampled predicted objects, reusing the
+// sample's labels, in rounds of max(1, tau - verified) queries — the
+// number of confirmations still missing when the round is posted — and
+// commits the answers in predicted-set order. The walk mirrors the
+// sequential loop exactly: it stops at the first index where
+// verified >= tau (marking the count a bound, not exact) and discards
+// any in-flight answers past the stop, so the committed task count is
+// both width-independent and equal to the sequential engine's.
+func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sampled map[dataset.ObjectID]bool, truePos, tau int, g pattern.Group) (verified int, exactClean bool, tasks int, err error) {
+	verified = truePos
+	exactClean = true
+	var round [][]int // uncommitted answers of the current round
+	var roundIDs []dataset.ObjectID
+	pos := 0 // next uncommitted answer within the round
+	for i := 0; i < len(predicted); i++ {
+		if verified >= tau {
+			exactClean = false // stopped early: count is a bound
+			return verified, exactClean, tasks, nil
+		}
+		id := predicted[i]
+		if sampled[id] {
+			continue
+		}
+		if pos >= len(roundIDs) {
+			// Post the next round: the next max(1, tau - verified)
+			// unsampled objects from position i onward.
+			want := tau - verified
+			if want < 1 {
+				want = 1
+			}
+			roundIDs = roundIDs[:0]
+			for j := i; j < len(predicted) && len(roundIDs) < want; j++ {
+				if !sampled[predicted[j]] {
+					roundIDs = append(roundIDs, predicted[j])
+				}
+			}
+			round, err = e.pointRound(roundIDs)
+			if err != nil {
+				return verified, exactClean, tasks, err
+			}
+			pos = 0
+		}
+		labels := round[pos]
+		pos++
+		tasks++
+		if g.Matches(labels) {
+			verified++
+		}
+	}
+	return verified, exactClean, tasks, nil
+}
+
+// partitionCleanRounds is the Partition function of Algorithm 5 in
+// level rounds: each frontier of the divide-and-conquer tree posts as
+// one reverse-set round, and the answers commit in frontier order with
+// partitionClean's exact semantics — a "no" confirms the range and may
+// infer a task-free "yes" on its right sibling (whose in-flight answer
+// is then discarded), a committed walk reaching stopAt returns
+// immediately discarding the rest of its level, and a full drain makes
+// the confirmed count exact. Frontier composition depends only on
+// committed answers, never on the pool width.
+func (e *classifierEngine) partitionCleanRounds(predicted []dataset.ObjectID, n, stopAt int, g pattern.Group) (confirmed int, drained bool, tasks int, err error) {
+	if len(predicted) == 0 {
+		return 0, true, 0, nil
+	}
+	frontier := make([]*node, 0, (len(predicted)+n-1)/n)
+	for i := 0; i < len(predicted); i += n {
+		end := i + n
+		if end > len(predicted) {
+			end = len(predicted)
+		}
+		frontier = append(frontier, &node{b: i, e: end})
+	}
+	for len(frontier) > 0 {
+		sets := make([][]dataset.ObjectID, len(frontier))
+		for i, t := range frontier {
+			sets[i] = predicted[t.b:t.e]
+		}
+		answers, err := e.reverseRound(sets, g)
+		if err != nil {
+			return confirmed, false, tasks, err
+		}
+
+		var next []*node
+		inferred := make(map[*node]bool)
+		for idx, t := range frontier {
+			if inferred[t] {
+				continue // answered for free by its left sibling
+			}
+			hasFP := answers[idx]
+			tasks++
+
+		process:
+			if !hasFP {
+				// The whole range is verified members of g.
+				confirmed += t.size()
+				if confirmed >= stopAt {
+					return confirmed, false, tasks, nil
+				}
+				// Sibling inference, mirrored from partitionClean: our
+				// parent contains a false positive and we contain none,
+				// so the right sibling must.
+				if t.parent != nil && t == t.parent.left {
+					sib := t.parent.right
+					if sib != nil && !inferred[sib] {
+						inferred[sib] = true
+						t = sib
+						hasFP = true
+						goto process
+					}
+				}
+				continue
+			}
+			if t.size() == 1 {
+				continue // isolated false positive: discard
+			}
+			mid := (t.b + t.e) / 2
+			t.left = &node{b: t.b, e: mid, parent: t}
+			t.right = &node{b: mid, e: t.e, parent: t}
+			next = append(next, t.left, t.right)
+		}
+		frontier = next
+	}
+	return confirmed, true, tasks, nil
+}

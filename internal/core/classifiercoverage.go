@@ -39,6 +39,31 @@ type ClassifierOptions struct {
 	FPRateThreshold float64
 	// Rng drives sampling; required.
 	Rng *rand.Rand
+	// Parallelism enables the batched round engine
+	// (classifier_parallel.go): the precision sample posts as one
+	// point-query round, the Label phase as bounded rounds with a
+	// deterministic early stop, and the Partition phase as one
+	// reverse-set round per tree level, each round fanned across a
+	// worker pool of at most Parallelism goroutines. Zero or one keeps
+	// the sequential Algorithm 4/5 loops. The oracle must be safe for
+	// concurrent use; results (strategy, counts, task breakdown) equal
+	// the sequential engine exactly for order-independent oracles.
+	Parallelism int
+	// Lockstep routes every round through the deterministic lockstep
+	// scheduler (runLockstep): the round's queries commit to the oracle
+	// as one canonical BatchOracle batch in issue order. Round
+	// composition never depends on Parallelism — the engine is
+	// level-synchronous by construction — so with a native BatchOracle
+	// answering in request order (the crowd Platform, TruthOracle) the
+	// full ClassifierResult is bit-identical at every Parallelism
+	// value. Implies the batched engine even at Parallelism <= 1.
+	Lockstep bool
+	// Retry re-posts transiently failing HITs (ErrTransient) instead
+	// of aborting the audit. The whole audit shares one retry wrapper
+	// (a classifier audit is a single task); jitter is drawn from Rng
+	// under the wrapper's lock, on retries only, so a failure-free run
+	// is unaffected.
+	Retry RetryPolicy
 }
 
 // ClassifierResult reports a classifier-assisted audit.
@@ -114,6 +139,11 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		inPredicted[id] = true
 	}
 
+	// Transient-failure handling wraps the oracle once per audit (a
+	// no-op when the policy is disabled); every phase of either engine
+	// — and the residual hunt — retries through it.
+	o = withRetry(o, opts.Retry, opts.Rng)
+
 	// Without predictions there is nothing to exploit.
 	if len(predicted) == 0 {
 		gc, err := GroupCoverage(o, ids, n, tau, g)
@@ -128,14 +158,12 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		return res, nil
 	}
 
+	if opts.Lockstep || opts.Parallelism > 1 {
+		return classifierCoverageParallel(o, ids, predicted, inPredicted, n, tau, g, opts, res)
+	}
+
 	// Line 2-3: estimate precision on a sample of G.
-	sampleSize := int(math.Ceil(opts.SampleFraction * float64(len(predicted))))
-	if sampleSize < 1 {
-		sampleSize = 1
-	}
-	if sampleSize > len(predicted) {
-		sampleSize = len(predicted)
-	}
+	sampleSize := sampleBudget(opts.SampleFraction, len(predicted))
 	sampled := make(map[dataset.ObjectID]bool, sampleSize)
 	truePos := 0
 	for _, idx := range opts.Rng.Perm(len(predicted))[:sampleSize] {
@@ -189,6 +217,31 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		}
 	}
 
+	return classifierFinish(o, ids, inPredicted, n, tau, verified, exactClean, g, res)
+}
+
+// sampleBudget sizes the precision sample: ceil(fraction * |G|),
+// clamped into [1, |G|]. Both engines share it so their samples are
+// identical.
+func sampleBudget(fraction float64, predicted int) int {
+	size := int(math.Ceil(fraction * float64(predicted)))
+	if size < 1 {
+		size = 1
+	}
+	if size > predicted {
+		size = predicted
+	}
+	return size
+}
+
+// classifierFinish is lines 6-7 of Algorithm 4, shared by the
+// sequential and the batched engine so their settle logic cannot drift
+// apart: enough verified positives end the audit; otherwise
+// Group-Coverage hunts the remaining tau - verified false negatives in
+// D - G. The residual search is a single adaptive query chain (each
+// set query depends on the previous answer), so both engines run it
+// sequentially.
+func classifierFinish(o Oracle, ids []dataset.ObjectID, inPredicted map[dataset.ObjectID]bool, n, tau, verified int, exactClean bool, g pattern.Group, res ClassifierResult) (ClassifierResult, error) {
 	// Line 6: enough verified positives end the audit.
 	if verified >= tau {
 		res.Covered = true
@@ -198,7 +251,7 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 	}
 
 	// Line 7: hunt false negatives in D - G.
-	rest := make([]dataset.ObjectID, 0, len(ids)-len(predicted))
+	rest := make([]dataset.ObjectID, 0, len(ids)-len(inPredicted))
 	for _, id := range ids {
 		if !inPredicted[id] {
 			rest = append(rest, id)

@@ -11,18 +11,7 @@ import (
 // of true positives (females) and false positives (males), drawn from
 // the dataset in order.
 func predictedSet(d *dataset.Dataset, tp, fp int) []dataset.ObjectID {
-	var females, males []dataset.ObjectID
-	for i := 0; i < d.Size(); i++ {
-		o := d.At(i)
-		if o.Labels[0] == 1 {
-			females = append(females, o.ID)
-		} else {
-			males = append(males, o.ID)
-		}
-	}
-	out := append([]dataset.ObjectID{}, females[:tp]...)
-	out = append(out, males[:fp]...)
-	return out
+	return d.PredictedSet(dataset.Female(d.Schema()), tp, fp)
 }
 
 func TestClassifierCoveragePreciseClassifierUsesPartition(t *testing.T) {

@@ -63,8 +63,8 @@ func FuzzLockstepOrder(f *testing.F) {
 	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(5), uint8(16))
 	f.Add([]byte{}, uint8(2), uint8(2))
 	f.Fuzz(func(t *testing.T, jitter []byte, tasksRaw, parRaw uint8) {
-		nTasks := int(tasksRaw%6) + 2       // 2..7 concurrent audit tasks
-		parallelism := int(parRaw%16) + 1   // pool width must never matter
+		nTasks := int(tasksRaw%6) + 2     // 2..7 concurrent audit tasks
+		parallelism := int(parRaw%16) + 1 // pool width must never matter
 		byteAt := func(i int) byte {
 			if len(jitter) == 0 {
 				return 0

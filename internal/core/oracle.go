@@ -45,6 +45,16 @@
 //     canonical (super-group, member, query-sequence) order, so even
 //     order-dependent oracles produce bit-identical verdicts, task
 //     counts and spend at every Parallelism value.
+//   - ClassifierOptions.Parallelism / Lockstep (classifier_parallel.go)
+//     bring Classifier-Coverage under the same contract: the precision
+//     sample posts as one point-query round, the Label phase as
+//     bounded rounds of max(1, tau - verified) point queries whose
+//     answers commit in predicted-set order with a deterministic early
+//     stop (stop at the first index where verified >= tau, discard
+//     later in-flight answers), and the Partition phase as one
+//     reverse-set round per tree level with the sequential sibling
+//     inference applied at commit time. Round composition is a pure
+//     function of committed answers — never of the pool width.
 //
 // The determinism contract, by oracle kind:
 //
@@ -58,6 +68,14 @@
 //     need Lockstep for cross-parallelism reproducibility, and must
 //     implement BatchOracle natively with batches executing in request
 //     order — the property the canonical round commit leans on.
+//
+// Every audit algorithm in the package now honors the contract —
+// Multiple-, Intersectional- and Classifier-Coverage all batch their
+// rounds and take the Lockstep knob. One asymmetry remains by design:
+// the batched engines count only committed queries in their task
+// tallies (matching the sequential engines exactly), while speculative
+// in-flight answers a deterministic early stop discards were still
+// paid HITs — the ledger, not the task count, carries that over-issue.
 package core
 
 import (

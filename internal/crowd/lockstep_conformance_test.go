@@ -2,14 +2,17 @@ package crowd
 
 // The cross-parallelism conformance matrix for the lockstep scheduler:
 // the FULL crowd-simulator pipeline — glyph-perceiving workers drawn
-// from the platform RNG, redundant assignments, majority or
-// reliability-weighted aggregation, a pricing model, the cost ledger,
-// and Dawid-Skene truth inference over the raw assignment log — must
-// be bit-for-bit identical at every engine Parallelism value when the
-// audit runs under MultipleOptions.Lockstep. Instances are generated
-// testing/quick-style from a seeded RNG; the whole suite also runs
-// under -race in CI, so the determinism claim is checked on genuinely
-// concurrent schedules.
+// from the platform RNG, pre-task qualification tests and rating-based
+// worker screening, redundant assignments, majority or
+// reliability-weighted aggregation, a pricing model (fixed, per-image,
+// posted-price or sealed-bid bidding), the cost ledger, and Dawid-Skene
+// truth inference over the raw assignment log — must be bit-for-bit
+// identical at every engine Parallelism value when the audit runs
+// under lockstep. The matrix spans all three audit algorithms that
+// batch their rounds: Multiple-, Intersectional- and
+// Classifier-Coverage. Instances are generated testing/quick-style
+// from a seeded RNG; the whole suite also runs under -race in CI, so
+// the determinism claim is checked on genuinely concurrent schedules.
 
 import (
 	"fmt"
@@ -23,34 +26,48 @@ import (
 
 // conformanceInstance is one randomized pipeline configuration.
 type conformanceInstance struct {
-	counts         []int
-	schema         *pattern.Schema
-	intersectional bool
-	tau, setSize   int
-	assignments    int
-	poolSize       int
-	weightedVote   bool
-	pricing        int // 0 fixed, 1 size, 2 posted
-	platformSeed   int64
-	auditSeed      int64
+	counts        []int
+	schema        *pattern.Schema
+	kind          string // "multiple", "intersectional" or "classifier"
+	tau, setSize  int
+	assignments   int
+	poolSize      int
+	weightedVote  bool
+	qualification bool
+	rating        bool
+	pricing       int // 0 fixed, 1 size, 2 posted, 3 bidding
+	// classifierTP and classifierFP shape the predicted-positive set
+	// of a classifier cell (clamped to the dataset's composition).
+	classifierTP, classifierFP int
+	platformSeed               int64
+	auditSeed                  int64
 }
 
 // generateInstance draws one instance; every knob of the pipeline is
-// randomized so the matrix covers the configuration space instead of
-// one hand-picked deployment.
-func generateInstance(rng *rand.Rand, intersectional bool) conformanceInstance {
+// randomized — including the worker-screening filters and the pricing
+// model — so the matrix covers the configuration space instead of one
+// hand-picked deployment.
+func generateInstance(rng *rand.Rand, kind string) conformanceInstance {
 	inst := conformanceInstance{
-		intersectional: intersectional,
-		tau:            5 + rng.Intn(12),
-		setSize:        5 + rng.Intn(12),
-		assignments:    1 + 2*rng.Intn(2), // 1 or 3
-		poolSize:       8 + rng.Intn(12),
-		weightedVote:   rng.Intn(2) == 0,
-		pricing:        rng.Intn(3),
-		platformSeed:   rng.Int63(),
-		auditSeed:      rng.Int63(),
+		kind:          kind,
+		tau:           5 + rng.Intn(12),
+		setSize:       5 + rng.Intn(12),
+		assignments:   1 + 2*rng.Intn(2), // 1 or 3
+		poolSize:      8 + rng.Intn(12),
+		weightedVote:  rng.Intn(2) == 0,
+		qualification: rng.Intn(2) == 0,
+		rating:        rng.Intn(2) == 0,
+		pricing:       rng.Intn(4),
+		platformSeed:  rng.Int63(),
+		auditSeed:     rng.Int63(),
 	}
-	if intersectional {
+	if inst.qualification || inst.rating {
+		// Screening excludes part of the pool (the rating filter about
+		// half of it); a larger pool keeps every drawn deployment
+		// viable.
+		inst.poolSize = 16 + rng.Intn(12)
+	}
+	if kind == "intersectional" {
 		inst.schema = pattern.MustSchema(
 			pattern.Attribute{Name: "a", Values: []string{"0", "1"}},
 			pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
@@ -61,6 +78,14 @@ func generateInstance(rng *rand.Rand, intersectional bool) conformanceInstance {
 			pattern.Attribute{Name: "group", Values: []string{"g0", "g1", "g2"}},
 		)
 		inst.counts = []int{60 + rng.Intn(80), rng.Intn(15), rng.Intn(15)}
+	}
+	if kind == "classifier" {
+		// Predict subgroup g1; make it populated enough that both
+		// elimination strategies and the residual hunt occur across
+		// the matrix.
+		inst.counts[1] = 3 + rng.Intn(12)
+		inst.classifierTP = rng.Intn(inst.counts[1] + 1)
+		inst.classifierFP = rng.Intn(25)
 	}
 	return inst
 }
@@ -78,11 +103,19 @@ func platformFor(t *testing.T, inst conformanceInstance, d *dataset.Dataset, log
 	if inst.weightedVote {
 		cfg.Aggregator = NewWeightedVote(0.9)
 	}
+	if inst.qualification {
+		cfg.Qualification = DefaultQualification()
+	}
+	if inst.rating {
+		cfg.Rating = DefaultRating()
+	}
 	switch inst.pricing {
 	case 1:
 		cfg.Pricing = SizePricing{Base: 0.05, PerImage: 0.002}
 	case 2:
 		cfg.Pricing = PostedPricing{Posted: 0.08, ReservationMean: 0.05}
+	case 3:
+		cfg.Pricing = BiddingPricing{Min: 0.04, Max: 0.14, Bidders: 12, Winners: inst.assignments}
 	}
 	p, err := NewPlatform(d, cfg)
 	if err != nil {
@@ -106,13 +139,27 @@ func runConformanceCell(t *testing.T, inst conformanceInstance, parallelism int)
 		Lockstep:    true,
 	}
 	var audit string
-	if inst.intersectional {
+	switch inst.kind {
+	case "intersectional":
 		res, err := core.IntersectionalCoverage(p, d.IDs(), inst.setSize, inst.tau, inst.schema, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		audit = fmt.Sprintf("%+v|%+v|%d|%d", res.Verdicts, res.MUPs, res.ResolutionTasks, res.Tasks)
-	} else {
+	case "classifier":
+		g := pattern.GroupsForAttribute(inst.schema, 0)[1]
+		predicted := d.PredictedSet(g, inst.classifierTP, inst.classifierFP)
+		res, err := core.ClassifierCoverage(p, d.IDs(), predicted, inst.setSize, inst.tau, g,
+			core.ClassifierOptions{
+				Rng:         rand.New(rand.NewSource(inst.auditSeed)),
+				Parallelism: parallelism,
+				Lockstep:    true,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit = fmt.Sprintf("%+v", res)
+	default:
 		groups := pattern.GroupsForAttribute(inst.schema, 0)
 		res, err := core.MultipleCoverage(p, d.IDs(), inst.setSize, inst.tau, groups, opts)
 		if err != nil {
@@ -135,13 +182,29 @@ func runConformanceCell(t *testing.T, inst conformanceInstance, parallelism int)
 		}
 		ds = fmt.Sprintf("%v|%.9v|%d", res.Truth, res.WorkerAccuracy, res.Iterations)
 	}
-	return fmt.Sprintf("audit=%s\nspend=%s\nhits=%d\ndawid-skene=%s", audit, spend, log.HITs(), ds)
+	return fmt.Sprintf("audit=%s\nspend=%s\neligible=%d\nhits=%d\ndawid-skene=%s",
+		audit, spend, p.EligibleWorkers(), log.HITs(), ds)
+}
+
+// conformanceKind cycles the matrix through the three batched audit
+// algorithms.
+func conformanceKind(i int) string {
+	switch i % 4 {
+	case 2:
+		return "intersectional"
+	case 3:
+		return "classifier"
+	default:
+		return "multiple"
+	}
 }
 
 // TestLockstepCrossParallelismConformance is the conformance matrix:
-// >= 50 randomized crowd-pipeline instances, each run at P in
-// {1, 2, 4, 16} under lockstep, asserting byte-identical verdicts,
-// task counts, spend, and truth-inference output.
+// >= 50 randomized crowd-pipeline instances — worker screening
+// (qualification test, rating filter) and all four pricing models
+// included — each run at P in {1, 2, 4, 16} under lockstep, asserting
+// byte-identical verdicts, task counts, spend, and truth-inference
+// output.
 func TestLockstepCrossParallelismConformance(t *testing.T) {
 	instances := 50
 	if testing.Short() {
@@ -149,12 +212,8 @@ func TestLockstepCrossParallelismConformance(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(20240))
 	for i := 0; i < instances; i++ {
-		inst := generateInstance(rng, i%3 == 2)
-		kind := "multiple"
-		if inst.intersectional {
-			kind = "intersectional"
-		}
-		t.Run(fmt.Sprintf("%02d-%s", i, kind), func(t *testing.T) {
+		inst := generateInstance(rng, conformanceKind(i))
+		t.Run(fmt.Sprintf("%02d-%s", i, inst.kind), func(t *testing.T) {
 			var base string
 			for _, par := range []int{1, 2, 4, 16} {
 				got := runConformanceCell(t, inst, par)
@@ -171,6 +230,37 @@ func TestLockstepCrossParallelismConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceMatrixCoversScreeningAndBidding guards the generator:
+// the drawn matrix must actually exercise the qualification test, the
+// rating filter, the bidding pricing model and every audit kind —
+// otherwise the conformance claim silently narrows.
+func TestConformanceMatrixCoversScreeningAndBidding(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240))
+	var quals, ratings, bidding int
+	kinds := map[string]int{}
+	for i := 0; i < 50; i++ {
+		inst := generateInstance(rng, conformanceKind(i))
+		if inst.qualification {
+			quals++
+		}
+		if inst.rating {
+			ratings++
+		}
+		if inst.pricing == 3 {
+			bidding++
+		}
+		kinds[inst.kind]++
+	}
+	if quals < 10 || ratings < 10 || bidding < 5 {
+		t.Errorf("matrix coverage too thin: qualification=%d rating=%d bidding=%d", quals, ratings, bidding)
+	}
+	for _, kind := range []string{"multiple", "intersectional", "classifier"} {
+		if kinds[kind] < 10 {
+			t.Errorf("only %d %s instances in the matrix", kinds[kind], kind)
+		}
+	}
+}
+
 // TestFreeRunningCrowdAuditMayDiverge documents the boundary of the
 // contract: without lockstep the free-running pool consumes the
 // platform RNG in arrival order, so the conformance property belongs
@@ -179,11 +269,13 @@ func TestLockstepCrossParallelismConformance(t *testing.T) {
 // which would be a flaky claim about scheduling).
 func TestLockstepCrowdAuditReproducesItself(t *testing.T) {
 	rng := rand.New(rand.NewSource(20241))
-	inst := generateInstance(rng, false)
-	first := runConformanceCell(t, inst, 4)
-	for rep := 0; rep < 3; rep++ {
-		if got := runConformanceCell(t, inst, 4); got != first {
-			t.Fatalf("rep %d: identical lockstep run diverged:\n%s\nvs\n%s", rep, got, first)
+	for _, kind := range []string{"multiple", "classifier"} {
+		inst := generateInstance(rng, kind)
+		first := runConformanceCell(t, inst, 4)
+		for rep := 0; rep < 3; rep++ {
+			if got := runConformanceCell(t, inst, 4); got != first {
+				t.Fatalf("%s rep %d: identical lockstep run diverged:\n%s\nvs\n%s", kind, rep, got, first)
+			}
 		}
 	}
 }

@@ -148,6 +148,28 @@ func (d *Dataset) CountPattern(p pattern.Pattern) int {
 	return d.CountGroup(pattern.Group{Members: []pattern.Pattern{p}})
 }
 
+// PredictedSet builds a classifier-style predicted-positive set from
+// ground truth: the first tp members of g and the first fp non-members,
+// in dataset order, with both counts clamped to the composition.
+// Evaluation-only, like CountGroup: tests and harnesses shape simulated
+// predictions with it (classifier.Simulated realizes full confusion
+// matrices when randomized placement matters).
+func (d *Dataset) PredictedSet(g pattern.Group, tp, fp int) []ObjectID {
+	var members, others []ObjectID
+	for _, o := range d.objects {
+		if g.Matches(o.Labels) {
+			members = append(members, o.ID)
+		} else {
+			others = append(others, o.ID)
+		}
+	}
+	tp = min(max(tp, 0), len(members))
+	fp = min(max(fp, 0), len(others))
+	out := make([]ObjectID, 0, tp+fp)
+	out = append(out, members[:tp]...)
+	return append(out, others[:fp]...)
+}
+
 // SubgroupCounts returns ground-truth counts for every fully-specified
 // subgroup, indexed by pattern.SubgroupIndex.
 func (d *Dataset) SubgroupCounts() []int {

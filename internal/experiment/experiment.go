@@ -62,6 +62,15 @@ type Config struct {
 	// engine-parallelism axis even when their oracles are
 	// order-dependent (the crowd simulator).
 	Lockstep bool
+	// EngineParallelism, when positive, overrides the audit engine's
+	// worker-pool width inside the trial body (the pool that runs
+	// super-group audits concurrently or lifts oracles into batched
+	// rounds) — as distinct from Parallelism, which bounds how many
+	// whole trials run at once. Like Lockstep it is a pass-through: the
+	// engine echoes it on Trial.EngineParallelism and the trial body
+	// wires it into its audit options, falling back to the
+	// experiment's own default when zero.
+	EngineParallelism int
 	// Oracle optionally builds the oracle a trial audits through. Nil
 	// when the trial body constructs its own (the common case: each
 	// trial generates its own dataset). Use SharedCache to hand every
@@ -96,6 +105,9 @@ type Trial struct {
 	// Lockstep echoes Config.Lockstep: the trial body should run its
 	// audits with core.MultipleOptions.Lockstep set accordingly.
 	Lockstep bool
+	// EngineParallelism echoes Config.EngineParallelism; zero means
+	// the trial body applies its own default engine width.
+	EngineParallelism int
 	// Oracle is the cell's shared oracle when Config.Oracle is set;
 	// nil otherwise.
 	Oracle core.Oracle
@@ -238,10 +250,11 @@ func RunMany[T any](cfgs []Config, fn func(cell int, t Trial) (T, error)) ([]*Re
 		}
 		cfg := &results[cell].Config
 		t := Trial{
-			Cell:     cell,
-			Index:    index,
-			Seed:     cfg.Seed + int64(index),
-			Lockstep: cfg.Lockstep,
+			Cell:              cell,
+			Index:             index,
+			Seed:              cfg.Seed + int64(index),
+			Lockstep:          cfg.Lockstep,
+			EngineParallelism: cfg.EngineParallelism,
 		}
 		t.Rng = rand.New(rand.NewSource(t.Seed))
 		if cfg.Oracle != nil {

@@ -53,6 +53,39 @@ func canonicalArtifact(res fmt.Stringer) string {
 		sr.Params.SetSize, t.String(), c.String())
 }
 
+// TestGoldenClassifierEngineParallelismInvariant pins the classifier
+// artifacts along the ENGINE-parallelism axis: table2 and the
+// classifier-strategy harness must render the sequential golden
+// byte-for-byte when the batched Classifier-Coverage engine runs its
+// rounds at width 1 and at width 16 under lockstep. (The main golden
+// test varies trial parallelism; this one varies the pool inside each
+// audit.)
+func TestGoldenClassifierEngineParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-harness golden comparison skipped in -short")
+	}
+	for _, id := range []string{"table2", "classifier-strategy"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+		if err != nil {
+			t.Fatalf("missing golden (run with -update to generate): %v", err)
+		}
+		for _, width := range []int{1, 16} {
+			res, err := e.Run(Options{Seed: 42, Trials: 2, Lockstep: true, EngineParallelism: width})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := canonicalArtifact(res); got != string(want) {
+				t.Errorf("%s at engine parallelism %d diverged from the sequential golden:\n--- got ---\n%s\n--- want ---\n%s",
+					id, width, got, want)
+			}
+		}
+	}
+}
+
 func TestGoldenLockstepMatchesSequentialEngine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-harness golden comparison skipped in -short")
@@ -65,7 +98,11 @@ func TestGoldenLockstepMatchesSequentialEngine(t *testing.T) {
 		t.Run(e.ID, func(t *testing.T) {
 			path := filepath.Join("testdata", e.ID+".golden")
 			if *update {
-				res, err := e.Run(Options{Seed: 42, Trials: 2})
+				// EngineParallelism 1 forces the audits inside each
+				// trial onto the sequential engines too (table2 and
+				// classifier-strategy default to batched width 4), so
+				// the regenerated baseline is genuinely sequential.
+				res, err := e.Run(Options{Seed: 42, Trials: 2, EngineParallelism: 1})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -46,6 +46,13 @@ type Options struct {
 	// order-independent (the TruthOracle-backed figures) render the
 	// identical artifact with or without it.
 	Lockstep bool
+	// EngineParallelism, when positive, overrides the audit engine's
+	// worker-pool width inside every trial body (the pool running
+	// super-group audits concurrently and lifting oracles into batched
+	// rounds); zero keeps each experiment's own default. Against the
+	// harness's order-independent oracles every width renders the
+	// identical artifact.
+	EngineParallelism int
 	// Timing optionally collects per-trial wall-clock across the
 	// experiment's cells (surfaced by cvgbench).
 	Timing *experiment.Recorder
@@ -55,13 +62,24 @@ type Options struct {
 // offsetting the base seed by the cell's stride.
 func (o Options) cell(name string, seedOffset int64) experiment.Config {
 	return experiment.Config{
-		Name:        name,
-		Seed:        o.Seed + seedOffset,
-		Trials:      o.Trials,
-		Parallelism: o.Parallelism,
-		Lockstep:    o.Lockstep,
-		Timing:      o.Timing,
+		Name:              name,
+		Seed:              o.Seed + seedOffset,
+		Trials:            o.Trials,
+		Parallelism:       o.Parallelism,
+		Lockstep:          o.Lockstep,
+		EngineParallelism: o.EngineParallelism,
+		Timing:            o.Timing,
 	}
+}
+
+// engineWidth resolves a trial's audit-engine pool width: the
+// harness-wide Options.EngineParallelism override when set, the
+// experiment's own default otherwise.
+func engineWidth(t experiment.Trial, def int) int {
+	if t.EngineParallelism > 0 {
+		return t.EngineParallelism
+	}
+	return def
 }
 
 // Experiment names one reproducible paper artifact.
@@ -197,6 +215,13 @@ func Experiments() []Experiment {
 			Description: "majority vs reliability-weighted voting under spammer-heavy pools",
 			Run: func(o Options) (fmt.Stringer, error) {
 				return RunAggregationComparison(o)
+			},
+		},
+		{
+			ID: "classifier-strategy", Paper: "extension",
+			Description: "Classifier-Coverage Partition/Label switchover across classifier false-positive rates (batched round engine)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunClassifierStrategy(DefaultClassifierParams(), o)
 			},
 		},
 		{

@@ -39,6 +39,17 @@ type (
 	// Oracle answers point, set and reverse-set queries. Implement it
 	// to bridge the auditor to a real crowdsourcing platform.
 	Oracle = core.Oracle
+	// Budget caps the crowd tasks an audit may commit (max HITs,
+	// per-kind caps, max spend under a CostFunc); see Auditor.WithBudget.
+	Budget = core.Budget
+	// BudgetSpent is a snapshot of committed budget consumption.
+	BudgetSpent = core.BudgetSpent
+	// CostFunc prices one committed query for Budget.MaxSpend
+	// accounting; SimulatedCrowd.HITCost derives one from the
+	// deployment's pricing model.
+	CostFunc = core.CostFunc
+	// HITKind names the three crowd task types for budget pricing.
+	HITKind = core.HITKind
 	// GroupResult reports one group audit.
 	GroupResult = core.GroupResult
 	// MultipleResult reports a Multiple-Coverage audit.
@@ -66,6 +77,19 @@ const (
 	Uncovered = pattern.Uncovered
 	Unknown   = pattern.Unknown
 )
+
+// HIT kinds for CostFunc implementations.
+const (
+	HITPoint      = core.HITPoint
+	HITSet        = core.HITSet
+	HITReverseSet = core.HITReverseSet
+)
+
+// ErrBudgetExhausted is the sentinel a budget governor returns for
+// queries it refuses. The audit entry points translate it into partial
+// results (Exhausted flags) rather than surfacing it, so callers only
+// meet it when querying a governed oracle directly.
+var ErrBudgetExhausted = core.ErrBudgetExhausted
 
 // Re-exported constructors.
 var (
@@ -167,6 +191,7 @@ type Auditor struct {
 	lockstep    bool
 	retry       core.RetryPolicy
 	cache       *core.CachingOracle
+	budget      *core.BudgetedOracle
 }
 
 // NewAuditor builds an auditor asking the oracle set queries of at
@@ -231,6 +256,40 @@ func (a *Auditor) WithCache() *Auditor {
 func (a *Auditor) WithRetry(policy RetryPolicy) *Auditor {
 	a.retry = policy
 	return a
+}
+
+// WithBudget caps the committed crowd queries of ALL audits through
+// this auditor with one shared budget governor — the deployment
+// control for a customer's spend cap. An audit that hits the cap
+// returns a deterministic partial result (result Exhausted flags,
+// unsettled groups carrying best-effort bounds) instead of an error;
+// under WithLockstep the exhaustion point, partial verdicts, task
+// counts and ledger spend are byte-identical at every WithParallelism
+// value. Like WithCache, the governor wraps the oracle stack as built
+// so far: call WithBudget before WithCache to let cache hits answer
+// for free without charging the budget, after it to charge every
+// query. Combine MaxSpend with SimulatedCrowd.HITCost (or your
+// platform's CostFunc) to denominate the cap in ledger dollars.
+//
+// The first call wins: one governor (and its accumulated spend) lives
+// for the auditor's lifetime, so later WithBudget calls are no-ops and
+// their argument is ignored — build a new Auditor to audit under a
+// different budget.
+func (a *Auditor) WithBudget(b Budget) *Auditor {
+	if a.budget == nil {
+		a.budget = core.NewBudgetedOracle(a.oracle, b)
+		a.oracle = a.budget
+	}
+	return a
+}
+
+// BudgetSpent returns the shared governor's committed consumption; ok
+// is false when WithBudget was never enabled.
+func (a *Auditor) BudgetSpent() (spent BudgetSpent, ok bool) {
+	if a.budget == nil {
+		return BudgetSpent{}, false
+	}
+	return a.budget.Spent(), true
 }
 
 // CacheStats returns the hit/miss tally of the query cache; ok is
@@ -373,6 +432,14 @@ func (c *SimulatedCrowd) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 // PointQueryBatch implements BatchOracle; see SetQueryBatch.
 func (c *SimulatedCrowd) PointQueryBatch(ids []ObjectID) ([][]int, error) {
 	return c.platform.PointQueryBatch(ids)
+}
+
+// HITCost returns the deployment's cost model — assignments times the
+// pricing model's per-assignment quote plus the platform fee — for
+// denominating a Budget.MaxSpend in the same dollars the ledger
+// tracks.
+func (c *SimulatedCrowd) HITCost() CostFunc {
+	return c.platform.HITCost()
 }
 
 // Cost returns the deployment's accumulated cost.

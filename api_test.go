@@ -234,3 +234,60 @@ func TestGroupResultRendering(t *testing.T) {
 		t.Errorf("rendering = %q", res.String())
 	}
 }
+
+// TestAuditorWithBudget pins the public budget facade: one governor
+// spans consecutive audits, exhaustion surfaces as partial results
+// (never an error), and BudgetSpent reports the committed consumption.
+func TestAuditorWithBudget(t *testing.T) {
+	ds, err := GenerateBinary(2_000, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := NewAuditor(NewTruthOracle(ds), 50, 50).
+		WithSeed(5).WithLockstep().WithBudget(Budget{MaxHITs: 10})
+	res, err := auditor.AuditGroups(ds.IDs(), []Group{
+		FemaleGroup(ds.Schema()), MaleGroup(ds.Schema()),
+	})
+	if err != nil {
+		t.Fatalf("budget exhaustion must not error: %v", err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("10-HIT audit of 2000 objects must exhaust: %+v", res)
+	}
+	spent, ok := auditor.BudgetSpent()
+	if !ok {
+		t.Fatal("BudgetSpent must report after WithBudget")
+	}
+	if spent.HITs() > 10 {
+		t.Errorf("committed %d HITs over the 10-HIT cap", spent.HITs())
+	}
+	// The shared governor spans the next audit too: it starts already
+	// exhausted and commits nothing further.
+	res2, err := auditor.AuditGroups(ds.IDs(), []Group{FemaleGroup(ds.Schema())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Exhausted {
+		t.Error("second audit through the spent governor must exhaust")
+	}
+	if again, _ := auditor.BudgetSpent(); again.HITs() != spent.HITs() {
+		t.Errorf("spent governor still committed HITs: %d -> %d", spent.HITs(), again.HITs())
+	}
+
+	// A budget priced by the crowd's own cost model stays within the
+	// dollar cap on the ledger.
+	crowd, err := NewSimulatedCrowd(ds, 7, CrowdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := NewAuditor(crowd, 50, 50).WithSeed(5).WithLockstep().
+		WithBudget(Budget{MaxSpend: 5.00, Cost: crowd.HITCost()})
+	if _, err := capped.AuditGroup(ds.IDs(), FemaleGroup(ds.Schema())); err != nil {
+		t.Fatal(err)
+	}
+	if cost := crowd.Cost(); cost.TotalCost > 5.00+1e-9 {
+		t.Errorf("ledger spend $%.2f exceeds the $5.00 cap", cost.TotalCost)
+	} else if cost.TotalHITs == 0 {
+		t.Error("capped audit should still have posted some HITs")
+	}
+}

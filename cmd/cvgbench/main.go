@@ -48,6 +48,14 @@ type benchRecord struct {
 	// HITTasks is the experiment's crowd-task total when the result
 	// reports one (the paper's single cost metric).
 	HITTasks float64 `json:"hit_tasks,omitempty"`
+	// BudgetCells and BudgetExhausted describe budget-governed
+	// experiments (budget-frontier): how many grid cells ran under a
+	// spend cap and how many hit it. A drop to zero exhausted cells in
+	// the history means the budget ladder stopped binding —
+	// budgetRegression fails the -fail-regression gate on it alongside
+	// the ns/op check.
+	BudgetCells     int `json:"budget_cells,omitempty"`
+	BudgetExhausted int `json:"budget_exhausted,omitempty"`
 }
 
 // benchRun is one cvgbench invocation's records, keyed for the
@@ -69,6 +77,10 @@ type benchRun struct {
 // taskTotaler is implemented by results that can report their total
 // crowd cost (e.g. the multi-group figures).
 type taskTotaler interface{ TotalTasks() float64 }
+
+// budgetCeller is implemented by budget-governed results
+// (budget-frontier) reporting their capped and exhausted cell counts.
+type budgetCeller interface{ BudgetCells() (cells, exhausted int) }
 
 // gitSHA resolves the current commit, best-effort.
 func gitSHA() string {
@@ -154,6 +166,32 @@ func worstRegression(history []benchRun, current benchRun) (pct float64, id stri
 	return worst, id, ok
 }
 
+// budgetRegression compares the budget columns against the previous
+// comparable run: an experiment whose budget ladder used to bind
+// (exhausted cells > 0) but no longer does has silently stopped
+// testing the exhaustion path — a correctness regression the ns/op
+// delta cannot see.
+func budgetRegression(history []benchRun, current benchRun) (id string, ok bool) {
+	if len(history) == 0 {
+		return "", false
+	}
+	prev := history[len(history)-1]
+	prevByID := make(map[string]benchRecord, len(prev.Records))
+	for _, r := range prev.Records {
+		prevByID[r.ID] = r
+	}
+	for _, r := range current.Records {
+		p, found := prevByID[r.ID]
+		if !found || p.Seed != r.Seed || p.Trials != r.Trials {
+			continue
+		}
+		if p.BudgetExhausted > 0 && r.BudgetExhausted == 0 {
+			return r.ID, true
+		}
+	}
+	return "", false
+}
+
 // reportBaseline prints deltas of the current records against the
 // previous run in the history.
 func reportBaseline(out io.Writer, history []benchRun, current []benchRecord) {
@@ -195,7 +233,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("cvgbench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp       = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		exp       = fs.String("exp", "all", "experiment id (see -list), a comma-separated list of ids, or 'all'")
 		seed      = fs.Int64("seed", 42, "base random seed")
 		trials    = fs.Int("trials", 3, "repetitions averaged per configuration")
 		trialPar  = fs.Int("trial-parallelism", 1, "trial-runner worker pool width (1 = sequential harness; results are identical at any width)")
@@ -256,6 +294,9 @@ func run(args []string, out, errOut io.Writer) int {
 		if tt, ok := res.(taskTotaler); ok {
 			rec.HITTasks = tt.TotalTasks()
 		}
+		if bc, ok := res.(budgetCeller); ok {
+			rec.BudgetCells, rec.BudgetExhausted = bc.BudgetCells()
+		}
 		records = append(records, rec)
 		return nil
 	}
@@ -268,14 +309,19 @@ func run(args []string, out, errOut io.Writer) int {
 			}
 		}
 	} else {
-		e, ok := sim.Lookup(*exp)
-		if !ok {
-			fmt.Fprintf(errOut, "cvgbench: unknown experiment %q (use -list)\n", *exp)
-			return 2
-		}
-		if err := runOne(e); err != nil {
-			fmt.Fprintln(errOut, "cvgbench:", err)
-			return 1
+		// A comma-separated list runs several experiments as ONE
+		// history entry, so the regression gate compares them all
+		// against the previous run together.
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := sim.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(errOut, "cvgbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			if err := runOne(e); err != nil {
+				fmt.Fprintln(errOut, "cvgbench:", err)
+				return 1
+			}
 		}
 	}
 
@@ -299,6 +345,10 @@ func run(args []string, out, errOut io.Writer) int {
 			if worst, id, ok := worstRegression(history, current); ok && worst > *failPct {
 				fmt.Fprintf(errOut, "cvgbench: %s regressed %+.1f%% ns/op vs the previous run (budget %.1f%%)\n",
 					id, worst, *failPct)
+				regressed = true
+			}
+			if id, ok := budgetRegression(history, current); ok {
+				fmt.Fprintf(errOut, "cvgbench: %s no longer exhausts any budgeted cell (previous run did) — the budget ladder stopped binding\n", id)
 				regressed = true
 			}
 		}

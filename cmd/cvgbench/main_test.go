@@ -306,3 +306,31 @@ func TestFailRegressionRequiresJSON(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// TestBudgetRegressionGate pins the budget-column gate: an experiment
+// whose budget ladder previously exhausted cells but no longer does
+// must trip the -fail-regression check even when ns/op improved.
+func TestBudgetRegressionGate(t *testing.T) {
+	prev := benchRun{Records: []benchRecord{
+		{ID: "budget-frontier", Seed: 42, Trials: 2, NsPerOp: 100, BudgetCells: 16, BudgetExhausted: 13},
+	}}
+	current := benchRun{Records: []benchRecord{
+		{ID: "budget-frontier", Seed: 42, Trials: 2, NsPerOp: 50, BudgetCells: 16, BudgetExhausted: 0},
+	}}
+	if id, ok := budgetRegression([]benchRun{prev}, current); !ok || id != "budget-frontier" {
+		t.Errorf("ladder stopped binding: got (%q, %v), want (budget-frontier, true)", id, ok)
+	}
+	// Still binding (even fewer cells) passes, as do incomparable runs.
+	current.Records[0].BudgetExhausted = 1
+	if id, ok := budgetRegression([]benchRun{prev}, current); ok {
+		t.Errorf("binding ladder flagged: %q", id)
+	}
+	current.Records[0].BudgetExhausted = 0
+	current.Records[0].Trials = 5
+	if _, ok := budgetRegression([]benchRun{prev}, current); ok {
+		t.Error("runs with different trial counts are not comparable")
+	}
+	if _, ok := budgetRegression(nil, current); ok {
+		t.Error("empty history cannot regress")
+	}
+}

@@ -11,6 +11,8 @@
 //	cvgrun -data faces.json -mode attribute -attr gender
 //	cvgrun -data faces.json -mode attribute -crowd -parallelism 8 -lockstep
 //	cvgrun -data faces.json -mode classifier -group "1" -accuracy 0.95 -precision 0.9 -parallelism 4 -lockstep
+//	cvgrun -data faces.json -mode attribute -crowd -lockstep -max-hits 200
+//	cvgrun -data faces.json -mode group -group "1" -crowd -lockstep -max-spend 25.00
 package main
 
 import (
@@ -44,6 +46,8 @@ func run(args []string, out, errOut io.Writer) int {
 		par       = fs.Int("parallelism", 1, "worker pool size of the concurrent audit engine (<=1 sequential)")
 		lockstep  = fs.Bool("lockstep", false, "schedule concurrent audits in deterministic lockstep rounds (bit-identical results at any -parallelism, even through the order-dependent simulated crowd)")
 		cache     = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
+		maxHITs   = fs.Int("max-hits", 0, "cap the committed crowd HITs; the audit returns a deterministic partial verdict when the cap is hit (0 = unlimited)")
+		maxSpend  = fs.Float64("max-spend", 0, "cap the committed crowd spend; with -crowd priced by the deployment's cost model (assignments x price + fee), otherwise one unit per HIT (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +78,15 @@ func run(args []string, out, errOut io.Writer) int {
 	auditor := imagecvg.NewAuditor(oracle, *tau, *n).WithSeed(*seed).WithParallelism(*par)
 	if *lockstep {
 		auditor = auditor.WithLockstep()
+	}
+	if *maxHITs > 0 || *maxSpend > 0 {
+		budget := imagecvg.Budget{MaxHITs: *maxHITs, MaxSpend: *maxSpend}
+		if crowdOracle != nil {
+			budget.Cost = crowdOracle.HITCost()
+		}
+		// The governor sits under the cache: deduplicated HITs answer
+		// for free without consuming the budget.
+		auditor = auditor.WithBudget(budget)
 	}
 	if *cache {
 		auditor = auditor.WithCache()
@@ -163,7 +176,13 @@ func run(args []string, out, errOut io.Writer) int {
 			if r.Covered {
 				verdict = "covered"
 			}
+			if !r.Settled {
+				verdict = "UNSETTLED"
+			}
 			fmt.Fprintf(out, "  %-30s %-10s count in [%d, %d]\n", r.Group, verdict, r.CountLo, r.CountHi)
+		}
+		if res.Exhausted {
+			fmt.Fprintln(out, "budget exhausted: unsettled verdicts carry best-effort bounds only")
 		}
 		fmt.Fprintf(out, "total tasks: %d (samples %d + audits %d)\n", res.Tasks, res.SampleTasks, res.AuditTasks)
 	case "intersectional", "repair":
@@ -197,6 +216,10 @@ func run(args []string, out, errOut io.Writer) int {
 
 	if crowdOracle != nil {
 		fmt.Fprintln(out, "crowd cost:", crowdOracle.Cost())
+	}
+	if spent, ok := auditor.BudgetSpent(); ok {
+		fmt.Fprintf(out, "budget: %d HITs committed (point=%d set=%d reverse=%d), spend %.2f, %d queries refused\n",
+			spent.HITs(), spent.Point, spent.Set, spent.ReverseSet, spent.Spend, spent.Denied)
 	}
 	if stats, ok := auditor.CacheStats(); ok {
 		fmt.Fprintf(out, "cache: %d hits / %d misses (%.0f%% saved)\n",

@@ -193,3 +193,41 @@ func TestLockstepCrowdInvariantAcrossParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestBudgetedGroupMode pins the -max-hits flag: a capped audit
+// reports an undecided partial verdict plus the budget status line,
+// and never commits more than the cap.
+func TestBudgetedGroupMode(t *testing.T) {
+	path := writeDataset(t, 800, 60)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "group", "-group", "1", "-tau", "50", "-max-hits", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "undecided (budget exhausted)") {
+		t.Errorf("capped audit should be undecided:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "budget: 5 HITs committed") {
+		t.Errorf("missing budget status line:\n%s", out.String())
+	}
+}
+
+// TestBudgetedCrowdAttributeMode exercises -max-spend against the
+// simulated crowd: the cap is denominated in the deployment's dollars
+// and the unsettled groups are marked in the verdict table.
+func TestBudgetedCrowdAttributeMode(t *testing.T) {
+	path := writeDataset(t, 300, 15)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "attribute", "-crowd", "-lockstep",
+		"-tau", "40", "-max-spend", "2.00"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "UNSETTLED") || !strings.Contains(s, "budget exhausted") {
+		t.Errorf("spend-capped crowd audit should leave unsettled groups:\n%s", s)
+	}
+	if !strings.Contains(s, "budget:") || !strings.Contains(s, "crowd cost:") {
+		t.Errorf("missing budget/cost reporting:\n%s", s)
+	}
+}

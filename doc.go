@@ -51,9 +51,37 @@
 //     are identical to the sequential engine at every parallelism
 //     level.
 //   - Auditor.WithCache interposes a deduplicating query cache keyed
-//     on the canonicalized id-set and group, so a HIT already paid for
-//     is never posted twice; transient errors are never cached, and
-//     Auditor.WithRetry re-posts them instead of aborting.
+//     on the canonicalized id-set and group (length-prefixed, so no
+//     crafted input can collide two distinct queries onto one cached
+//     answer), so a HIT already paid for is never posted twice;
+//     transient errors are never cached, and Auditor.WithRetry
+//     re-posts them instead of aborting.
+//
+// # Budget governance
+//
+// Crowd cost is the paper's single performance metric, and a deployment
+// must be able to cap it. Auditor.WithBudget installs one shared budget
+// governor — max HITs, per-kind caps, or a dollar MaxSpend priced by a
+// CostFunc (SimulatedCrowd.HITCost derives one from the deployment's
+// pricing model, assignments and platform fee) — over every audit the
+// auditor runs. The accounting distinguishes committed from speculative
+// HITs: the governor charges each query actually posted (including
+// speculative round over-issue a deterministic early stop later
+// discards, and re-posted retries — they were all paid), refuses
+// everything beyond the cap without posting it, and the batched engines
+// narrow their speculative rounds to the remaining headroom (Label
+// rounds shrink to min(tau-verified, headroom); the Partition frontier
+// is clipped to the nodes that could still reach the early stop).
+//
+// Exhaustion is an expected outcome, not an error: the audit returns a
+// deterministic partial result — Result.Exhausted set, per-group
+// Settled flags, and best-effort covered/uncovered bounds proven by the
+// committed answers (Intersectional audits keep Unknown verdicts rather
+// than inventing definite ones). Under WithLockstep the exhaustion
+// point in the canonical query sequence, the partial verdicts, the
+// committed task counts and the ledger spend are byte-identical at
+// every WithParallelism value; the free-running pool charges queries in
+// arrival order and stays race-free but not width-reproducible.
 //
 // # Determinism contract
 //

@@ -27,6 +27,15 @@ type SetRequest struct {
 // requests would fail concurrently, which error surfaces can depend
 // on scheduling; successful rounds are always deterministic.)
 //
+// Partial-prefix commits: a failing batch may return a non-nil answer
+// slice shorter than the request slice alongside its error, meaning
+// requests [0, len(answers)) committed with those answers and the rest
+// failed. Most implementations return nil answers on error (nothing
+// committed); the BudgetedOracle governor uses the prefix form to hand
+// back the answers the remaining budget could still afford, and the
+// lockstep commit path delivers such a prefix to its tasks instead of
+// discarding paid answers.
+//
 // Oracles whose answers depend only on the request (TruthOracle, any
 // stateless crowd bridge) may execute a batch in any order or fully in
 // parallel. Stateful simulators (the crowd platform, whose RNG
@@ -54,21 +63,20 @@ type batchAdapter struct {
 // answers should not depend on call order, or batched runs will not
 // reproduce sequential ones.
 func NewBatchAdapter(o Oracle, parallelism int) BatchOracle {
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	return &batchAdapter{inner: o, parallelism: parallelism}
+	return &batchAdapter{inner: o, parallelism: normalizeParallelism(parallelism)}
 }
 
 // AsBatchOracle returns o itself when it already implements
 // BatchOracle natively, and otherwise lifts it with NewBatchAdapter.
-// The caching and retry middlewares additionally inherit the caller's
-// parallelism for the rounds they forward themselves.
+// The caching, retry and budget middlewares additionally inherit the
+// caller's parallelism for the rounds they forward themselves.
 func AsBatchOracle(o Oracle, parallelism int) BatchOracle {
 	switch v := o.(type) {
 	case *CachingOracle:
 		return v.WithBatchParallelism(parallelism)
 	case *retryOracle:
+		return v.withBatchParallelism(parallelism)
+	case *BudgetedOracle:
 		return v.withBatchParallelism(parallelism)
 	}
 	if bo, ok := o.(BatchOracle); ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"strconv"
 	"strings"
@@ -111,6 +112,16 @@ func (c *CachingOracle) Len() int {
 // sorted (the crowd question is order-insensitive) and the group is
 // identified by its sorted member pattern keys, so renamed or
 // reordered super-groups with the same members share a key.
+//
+// The encoding is collision-proof by construction: every
+// variable-length field is length-prefixed, so no member key — however
+// adversarial its contents, separators included — can bleed into a
+// neighboring field and make two distinct (ids, group, kind) tuples
+// share a key (FuzzCacheKey pins the property). A plain
+// separator-joined key would conflate e.g. a two-member group with a
+// one-member group whose key happens to contain the separator — and a
+// conflated key means one paid HIT silently answers a DIFFERENT crowd
+// question.
 func setKey(ids []dataset.ObjectID, g pattern.Group, reverse bool) string {
 	sorted := make([]int, len(ids))
 	for i, id := range ids {
@@ -129,7 +140,13 @@ func setKey(ids []dataset.ObjectID, g pattern.Group, reverse bool) string {
 	} else {
 		b.WriteString("s|")
 	}
-	b.WriteString(strings.Join(members, ","))
+	b.WriteString(strconv.Itoa(len(members)))
+	for _, m := range members {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(m)))
+		b.WriteByte(':')
+		b.WriteString(m)
+	}
 	b.WriteByte('|')
 	for i, id := range sorted {
 		if i > 0 {
@@ -313,29 +330,42 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	if len(missReqs) > 0 {
 		missAnswers, missErr = AsBatchOracle(c.inner, c.width()).SetQueryBatch(missReqs)
 	}
+	// A failing inner batch may still have committed a prefix (a budget
+	// governor admits what the remaining budget affords — those HITs
+	// were posted and paid): cache the committed answers, release the
+	// refused keys with the error.
 	for j, key := range missKeys {
-		var ans bool
-		if missErr == nil {
-			ans = missAnswers[j]
+		if j < len(missAnswers) {
+			c.settleSet(key, missAnswers[j], nil)
+		} else {
+			c.settleSet(key, false, missErr)
 		}
-		c.settleSet(key, ans, missErr)
-	}
-	if missErr != nil {
-		return nil, missErr
 	}
 	for _, call := range waits {
 		<-call.done
-		if call.err != nil {
-			return nil, call.err
+		if call.err != nil && missErr == nil {
+			missErr = call.err
 		}
 	}
+	// Assemble positionally; on error, honor the BatchOracle
+	// partial-prefix contract by returning the longest answered prefix
+	// (cache hits plus committed misses) alongside the error, so a
+	// lockstep round delivers every paid answer instead of discarding
+	// them.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range reqs {
-		if ans, ok := c.answers[keys[i]]; ok {
-			answers[i] = ans
+		ans, ok := c.answers[keys[i]]
+		if !ok {
+			if missErr == nil {
+				missErr = errors.New("core: cache round left a query unanswered")
+			}
+			return answers[:i], missErr
 		}
+		answers[i] = ans
 	}
+	// Every request was answered (a failure elsewhere never blocked
+	// this round's keys): the full round committed.
 	return answers, nil
 }
 
@@ -373,26 +403,32 @@ func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error)
 	if len(missIDs) > 0 {
 		missLabels, missErr = AsBatchOracle(c.inner, c.width()).PointQueryBatch(missIDs)
 	}
+	// Cache any committed prefix of a failing batch and release the
+	// refused ids with the error; see SetQueryBatch.
 	for j, id := range missIDs {
-		var l []int
-		if missErr == nil {
-			l = missLabels[j]
+		if j < len(missLabels) {
+			c.settlePoint(id, missLabels[j], nil)
+		} else {
+			c.settlePoint(id, nil, missErr)
 		}
-		c.settlePoint(id, l, missErr)
-	}
-	if missErr != nil {
-		return nil, missErr
 	}
 	for _, call := range waits {
 		<-call.done
-		if call.err != nil {
-			return nil, call.err
+		if call.err != nil && missErr == nil {
+			missErr = call.err
 		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, id := range ids {
-		labels[i] = cloneLabels(c.labels[id])
+		cached, ok := c.labels[id]
+		if !ok {
+			if missErr == nil {
+				missErr = errors.New("core: cache round left a query unanswered")
+			}
+			return labels[:i], missErr
+		}
+		labels[i] = cloneLabels(cached)
 	}
 	return labels, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"imagecvg/internal/dataset"
 	"imagecvg/internal/pattern"
 )
@@ -15,15 +17,23 @@ import (
 //   - the Label phase (Algorithm 5) issues bounded rounds of point
 //     queries over the unsampled predicted objects and commits the
 //     answers in predicted-set order with a deterministic early stop:
-//     each round posts exactly max(1, tau - verified) queries — the
-//     confirmations still missing — and the walk stops at the first
-//     index where verified >= tau, discarding later in-flight answers;
-//   - the Partition phase (Algorithm 5) walks the divide-and-conquer
-//     tree level-by-level, issuing each frontier as one reverse-set
-//     round and committing the answers in frontier order with the
-//     sequential engine's sibling inference and early stop intact (an
-//     inferred sibling's in-flight answer is discarded, and a commit
-//     walk that reaches stopAt discards the rest of its level).
+//     each round posts min(max(1, tau - verified), remaining budget
+//     headroom) queries — the confirmations still missing, narrowed to
+//     what an approaching spend cap affords — and the walk stops at
+//     the first index where verified >= tau, discarding later
+//     in-flight answers;
+//   - the Partition phase (Algorithm 5) runs the divide-and-conquer
+//     queue of the sequential engine, but posts the front of the queue
+//     as one reverse-set round per iteration. The round is clipped to
+//     the prefix of nodes whose cumulative size reaches stopAt -
+//     confirmed (and to the budget headroom): nodes past that point
+//     are pure speculation — if every posted node confirmed, the early
+//     stop would already fire — so the over-issue of a wide frontier
+//     shrinks exactly when the remaining need is small. Commit order,
+//     sibling inference and the early stop replicate partitionClean
+//     verbatim (an inferred sibling's in-flight answer is discarded,
+//     children re-enter the queue at the back), so the committed
+//     results equal the sequential engine's for any clip width.
 //
 // Round composition is a pure function of previously committed answers
 // — never of Parallelism — so the engine is level-synchronous by
@@ -42,52 +52,63 @@ import (
 // rounds speculatively is over-issue: answers the early stop or the
 // sibling inference discards were still real HITs (the same tradeoff
 // GroupCoverageRounds documents), bounded per phase by one round.
+// Budget exhaustion surfaces as a committed prefix of one round
+// (canonical order under Lockstep), translated into a partial
+// ClassifierResult with Exhausted set.
 
 // classifierEngine dispatches one phase round at a time through
 // runAuditPool, one pool task per in-flight query: under Lockstep the
 // round commits as one canonical BatchOracle batch, otherwise the
-// queries fan out across the free-running bounded pool.
+// queries fan out across the free-running bounded pool. gov, when
+// non-nil, is the budget governor already wrapped around o; the engine
+// reads its headroom to narrow speculative rounds.
 type classifierEngine struct {
 	o    Oracle
+	gov  *BudgetedOracle
 	opts MultipleOptions
 }
 
-// pointRound posts one round of point queries and returns the labels
-// positionally.
-func (e *classifierEngine) pointRound(ids []dataset.ObjectID) ([][]int, error) {
-	labels := make([][]int, len(ids))
-	err := runAuditPool(e.o, e.opts, nil, len(ids), func(i int, audit Oracle) error {
+// pointRound posts one round of point queries. ok[i] marks answers
+// that committed; a budget exhaustion returns the committed flags with
+// ErrBudgetExhausted, any other failure aborts the round.
+func (e *classifierEngine) pointRound(ids []dataset.ObjectID) (labels [][]int, ok []bool, err error) {
+	labels = make([][]int, len(ids))
+	ok = make([]bool, len(ids))
+	err = runAuditPool(e.o, e.opts, nil, len(ids), func(i int, audit Oracle) error {
 		var qerr error
 		labels[i], qerr = audit.PointQuery(ids[i])
+		ok[i] = qerr == nil
 		return qerr
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+		return nil, nil, err
 	}
-	return labels, nil
+	return labels, ok, err
 }
 
 // reverseRound posts one round of reverse set queries ("is anyone here
-// NOT in g?") and returns the answers positionally.
-func (e *classifierEngine) reverseRound(sets [][]dataset.ObjectID, g pattern.Group) ([]bool, error) {
-	answers := make([]bool, len(sets))
-	err := runAuditPool(e.o, e.opts, nil, len(sets), func(i int, audit Oracle) error {
+// NOT in g?"); see pointRound for the ok/error convention.
+func (e *classifierEngine) reverseRound(sets [][]dataset.ObjectID, g pattern.Group) (answers []bool, ok []bool, err error) {
+	answers = make([]bool, len(sets))
+	ok = make([]bool, len(sets))
+	err = runAuditPool(e.o, e.opts, nil, len(sets), func(i int, audit Oracle) error {
 		var qerr error
 		answers[i], qerr = audit.ReverseSetQuery(sets[i], g)
+		ok[i] = qerr == nil
 		return qerr
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+		return nil, nil, err
 	}
-	return answers, nil
+	return answers, ok, err
 }
 
 // classifierCoverageParallel is Algorithm 4 on the batched round
 // engine; ClassifierCoverage dispatches here when opts.Lockstep or
 // opts.Parallelism > 1 (inputs already validated, defaults resolved,
-// predicted non-empty).
-func classifierCoverageParallel(o Oracle, ids, predicted []dataset.ObjectID, inPredicted map[dataset.ObjectID]bool, n, tau int, g pattern.Group, opts ClassifierOptions, res ClassifierResult) (ClassifierResult, error) {
-	e := &classifierEngine{o: o, opts: MultipleOptions{
+// predicted non-empty, budget governor already applied to o).
+func classifierCoverageParallel(o Oracle, gov *BudgetedOracle, ids, predicted []dataset.ObjectID, inPredicted map[dataset.ObjectID]bool, n, tau int, g pattern.Group, opts ClassifierOptions, res ClassifierResult) (ClassifierResult, error) {
+	e := &classifierEngine{o: o, gov: gov, opts: MultipleOptions{
 		Parallelism: opts.Parallelism,
 		Lockstep:    opts.Lockstep,
 	}}
@@ -100,42 +121,57 @@ func classifierCoverageParallel(o Oracle, ids, predicted []dataset.ObjectID, inP
 	for _, idx := range opts.Rng.Perm(len(predicted))[:sampleSize] {
 		sample = append(sample, predicted[idx])
 	}
-	labels, err := e.pointRound(sample)
-	if err != nil {
+	labels, oks, err := e.pointRound(sample)
+	if err != nil && !errors.Is(err, ErrBudgetExhausted) {
 		return res, err
 	}
 	sampled := make(map[dataset.ObjectID]bool, sampleSize)
 	truePos := 0
 	for i, id := range sample {
+		if !oks[i] {
+			// Budget exhausted mid-sample: commit the answered prefix
+			// and settle; committed later answers (free pool only) are
+			// discarded over-issue.
+			return classifierExhausted(res, truePos, tau), nil
+		}
 		res.SampleTasks++
 		sampled[id] = true
 		if g.Matches(labels[i]) {
 			truePos++
 		}
 	}
+	if err != nil {
+		return classifierExhausted(res, truePos, tau), nil
+	}
 	res.EstFPRate = 1 - float64(truePos)/float64(sampleSize)
 
 	// Line 4-5: eliminate false positives, one batched phase per
 	// strategy.
 	verified := 0
-	var exactClean bool
+	var exactClean, exhausted bool
 	if res.EstFPRate < opts.FPRateThreshold {
 		res.Strategy = StrategyPartition
-		confirmed, drained, tasks, err := e.partitionCleanRounds(predicted, n, tau, g)
+		confirmed, drained, tasks, exh, err := e.partitionCleanRounds(predicted, n, tau, g)
 		if err != nil {
 			return res, err
 		}
 		res.CleanupTasks = tasks
 		verified = confirmed
 		exactClean = drained
+		exhausted = exh
 	} else {
 		res.Strategy = StrategyLabel
 		var tasks int
-		verified, exactClean, tasks, err = e.labelCleanRounds(predicted, sampled, truePos, tau, g)
+		var exh bool
+		verified, exactClean, tasks, exh, err = e.labelCleanRounds(predicted, sampled, truePos, tau, g)
 		if err != nil {
 			return res, err
 		}
 		res.CleanupTasks = tasks
+		exhausted = exh
+	}
+	if exhausted {
+		return classifierExhausted(res, verified, tau), nil
 	}
 
 	return classifierFinish(o, ids, inPredicted, n, tau, verified, exactClean, g, res)
@@ -143,23 +179,27 @@ func classifierCoverageParallel(o Oracle, ids, predicted []dataset.ObjectID, inP
 
 // labelCleanRounds is the Label function of Algorithm 5 in bounded
 // rounds: it point-labels the unsampled predicted objects, reusing the
-// sample's labels, in rounds of max(1, tau - verified) queries — the
-// number of confirmations still missing when the round is posted — and
+// sample's labels, in rounds of min(max(1, tau - verified), budget
+// headroom) queries — the confirmations still missing when the round
+// is posted, narrowed to what the remaining budget affords — and
 // commits the answers in predicted-set order. The walk mirrors the
 // sequential loop exactly: it stops at the first index where
 // verified >= tau (marking the count a bound, not exact) and discards
 // any in-flight answers past the stop, so the committed task count is
-// both width-independent and equal to the sequential engine's.
-func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sampled map[dataset.ObjectID]bool, truePos, tau int, g pattern.Group) (verified int, exactClean bool, tasks int, err error) {
+// both width-independent and equal to the sequential engine's. A
+// budget exhaustion commits the affordable prefix and reports
+// exhausted.
+func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sampled map[dataset.ObjectID]bool, truePos, tau int, g pattern.Group) (verified int, exactClean bool, tasks int, exhausted bool, err error) {
 	verified = truePos
 	exactClean = true
 	var round [][]int // uncommitted answers of the current round
+	var roundOK []bool
 	var roundIDs []dataset.ObjectID
 	pos := 0 // next uncommitted answer within the round
 	for i := 0; i < len(predicted); i++ {
 		if verified >= tau {
 			exactClean = false // stopped early: count is a bound
-			return verified, exactClean, tasks, nil
+			return verified, exactClean, tasks, false, nil
 		}
 		id := predicted[i]
 		if sampled[id] {
@@ -167,8 +207,13 @@ func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sample
 		}
 		if pos >= len(roundIDs) {
 			// Post the next round: the next max(1, tau - verified)
-			// unsampled objects from position i onward.
+			// unsampled objects from position i onward, clipped to the
+			// budget's point-query headroom (floored at one so an
+			// exhausted budget surfaces as a refusal, not a spin).
 			want := tau - verified
+			if h := headroomOf(e.gov, HITPoint, 1); h < want {
+				want = h
+			}
 			if want < 1 {
 				want = 1
 			}
@@ -178,11 +223,14 @@ func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sample
 					roundIDs = append(roundIDs, predicted[j])
 				}
 			}
-			round, err = e.pointRound(roundIDs)
-			if err != nil {
-				return verified, exactClean, tasks, err
+			round, roundOK, err = e.pointRound(roundIDs)
+			if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+				return verified, exactClean, tasks, false, err
 			}
 			pos = 0
+		}
+		if !roundOK[pos] {
+			return verified, exactClean, tasks, true, nil
 		}
 		labels := round[pos]
 		pos++
@@ -191,46 +239,70 @@ func (e *classifierEngine) labelCleanRounds(predicted []dataset.ObjectID, sample
 			verified++
 		}
 	}
-	return verified, exactClean, tasks, nil
+	return verified, exactClean, tasks, false, nil
 }
 
 // partitionCleanRounds is the Partition function of Algorithm 5 in
-// level rounds: each frontier of the divide-and-conquer tree posts as
-// one reverse-set round, and the answers commit in frontier order with
-// partitionClean's exact semantics — a "no" confirms the range and may
-// infer a task-free "yes" on its right sibling (whose in-flight answer
-// is then discarded), a committed walk reaching stopAt returns
-// immediately discarding the rest of its level, and a full drain makes
-// the confirmed count exact. Frontier composition depends only on
-// committed answers, never on the pool width.
-func (e *classifierEngine) partitionCleanRounds(predicted []dataset.ObjectID, n, stopAt int, g pattern.Group) (confirmed int, drained bool, tasks int, err error) {
+// clipped rounds: the sequential engine's FIFO queue drives the walk,
+// but each iteration posts the front of the queue as one reverse-set
+// round. The clip takes nodes until their cumulative size reaches
+// stopAt - confirmed (posting more is pure speculation: were every
+// posted node clean, the early stop would already fire) and never more
+// queries than the budget's headroom affords, always at least one
+// node. Commit semantics are partitionClean's, verbatim: a "no"
+// confirms the range and may infer a task-free "yes" on its right
+// sibling — wherever that sibling sits, in this round (its in-flight
+// answer is discarded) or still unposted in the queue — a committed
+// walk reaching stopAt returns immediately discarding the rest of its
+// round, and a full drain makes the confirmed count exact. Round
+// composition depends only on committed answers, never on the pool
+// width.
+func (e *classifierEngine) partitionCleanRounds(predicted []dataset.ObjectID, n, stopAt int, g pattern.Group) (confirmed int, drained bool, tasks int, exhausted bool, err error) {
 	if len(predicted) == 0 {
-		return 0, true, 0, nil
+		return 0, true, 0, false, nil
 	}
-	frontier := make([]*node, 0, (len(predicted)+n-1)/n)
+	q := newQueue()
 	for i := 0; i < len(predicted); i += n {
 		end := i + n
 		if end > len(predicted) {
 			end = len(predicted)
 		}
-		frontier = append(frontier, &node{b: i, e: end})
+		q.push(&node{b: i, e: end})
 	}
-	for len(frontier) > 0 {
-		sets := make([][]dataset.ObjectID, len(frontier))
-		for i, t := range frontier {
+	for !q.empty() {
+		// Clip the round: enough front-of-queue nodes to reach the
+		// remaining need if all confirm, within budget headroom.
+		need := stopAt - confirmed
+		room := headroomOf(e.gov, HITReverseSet, n)
+		batch := make([]*node, 0, q.len())
+		sum := 0
+		for t := q.front(); t != nil; t = q.next(t) {
+			batch = append(batch, t)
+			sum += t.size()
+			if sum >= need || len(batch) >= room {
+				break
+			}
+		}
+		sets := make([][]dataset.ObjectID, len(batch))
+		for i, t := range batch {
 			sets[i] = predicted[t.b:t.e]
 		}
-		answers, err := e.reverseRound(sets, g)
-		if err != nil {
-			return confirmed, false, tasks, err
+		answers, oks, err := e.reverseRound(sets, g)
+		if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+			return confirmed, false, tasks, false, err
 		}
 
-		var next []*node
-		inferred := make(map[*node]bool)
-		for idx, t := range frontier {
-			if inferred[t] {
+		for idx, t := range batch {
+			if !t.inQueue {
 				continue // answered for free by its left sibling
 			}
+			if !oks[idx] {
+				// Budget exhausted: the walk stops at the first
+				// uncommitted answer; committed later answers (free
+				// pool only) are discarded over-issue.
+				return confirmed, false, tasks, true, nil
+			}
+			q.remove(t)
 			hasFP := answers[idx]
 			tasks++
 
@@ -239,15 +311,15 @@ func (e *classifierEngine) partitionCleanRounds(predicted []dataset.ObjectID, n,
 				// The whole range is verified members of g.
 				confirmed += t.size()
 				if confirmed >= stopAt {
-					return confirmed, false, tasks, nil
+					return confirmed, false, tasks, false, nil
 				}
 				// Sibling inference, mirrored from partitionClean: our
 				// parent contains a false positive and we contain none,
 				// so the right sibling must.
 				if t.parent != nil && t == t.parent.left {
 					sib := t.parent.right
-					if sib != nil && !inferred[sib] {
-						inferred[sib] = true
+					if sib != nil && sib.inQueue {
+						q.remove(sib)
 						t = sib
 						hasFP = true
 						goto process
@@ -261,9 +333,9 @@ func (e *classifierEngine) partitionCleanRounds(predicted []dataset.ObjectID, n,
 			mid := (t.b + t.e) / 2
 			t.left = &node{b: t.b, e: mid, parent: t}
 			t.right = &node{b: mid, e: t.e, parent: t}
-			next = append(next, t.left, t.right)
+			q.push(t.left)
+			q.push(t.right)
 		}
-		frontier = next
 	}
-	return confirmed, true, tasks, nil
+	return confirmed, true, tasks, false, nil
 }

@@ -251,7 +251,7 @@ func TestPartitionCleanRoundsMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		e := &classifierEngine{o: NewTruthOracle(d), opts: MultipleOptions{Parallelism: 1 + rng.Intn(8), Lockstep: rng.Intn(2) == 0}}
-		gotC, gotD, gotT, err := e.partitionCleanRounds(d.IDs(), chunk, stopAt, g)
+		gotC, gotD, gotT, _, err := e.partitionCleanRounds(d.IDs(), chunk, stopAt, g)
 		if err != nil {
 			t.Fatal(err)
 		}

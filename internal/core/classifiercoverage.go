@@ -64,6 +64,13 @@ type ClassifierOptions struct {
 	// under the wrapper's lock, on retries only, so a failure-free run
 	// is unaffected.
 	Retry RetryPolicy
+	// Budget caps the committed crowd queries of this audit (see
+	// MultipleOptions.Budget): exhaustion yields a partial
+	// ClassifierResult (Exhausted set, Count the verified lower bound)
+	// instead of an error, and the batched engine narrows its
+	// speculative rounds to the remaining headroom. An oracle that
+	// already is a *BudgetedOracle is reused and this field is ignored.
+	Budget Budget
 }
 
 // ClassifierResult reports a classifier-assisted audit.
@@ -76,6 +83,11 @@ type ClassifierResult struct {
 	Exact bool
 	// Strategy actually used on the predicted set.
 	Strategy Strategy
+	// Exhausted is true when a budget governor stopped the audit before
+	// it could decide coverage: Count is then the number of verified
+	// members the committed answers prove (Covered stays true when that
+	// bound already reaches tau).
+	Exhausted bool
 	// EstFPRate is the false-positive rate estimated on the sample.
 	EstFPRate float64
 	// Task breakdown: precision sample, predicted-set cleanup,
@@ -90,6 +102,9 @@ func (r ClassifierResult) String() string {
 	verdict := "uncovered"
 	if r.Covered {
 		verdict = "covered"
+	}
+	if r.Exhausted && !r.Covered {
+		verdict = "undecided (budget exhausted)"
 	}
 	return fmt.Sprintf("%s: %s via %s (est. FP %.0f%%), count>=%d, %d tasks (sample=%d cleanup=%d residual=%d)",
 		r.Group, verdict, r.Strategy, 100*r.EstFPRate, r.Count, r.Tasks, r.SampleTasks, r.CleanupTasks, r.ResidualTasks)
@@ -139,9 +154,13 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		inPredicted[id] = true
 	}
 
-	// Transient-failure handling wraps the oracle once per audit (a
+	// A budget governor, when configured, wraps the oracle before the
+	// retry layer: a retried HIT is a re-posted HIT and charges the
+	// budget again, while an exhaustion refusal is not transient and
+	// never retries. Transient-failure handling wraps once per audit (a
 	// no-op when the policy is disabled); every phase of either engine
 	// — and the residual hunt — retries through it.
+	o, gov := applyBudget(o, opts.Budget)
 	o = withRetry(o, opts.Retry, opts.Rng)
 
 	// Without predictions there is nothing to exploit.
@@ -153,13 +172,14 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		res.Covered = gc.Covered
 		res.Count = gc.Count
 		res.Exact = gc.Exact
+		res.Exhausted = gc.Exhausted
 		res.ResidualTasks = gc.Tasks
 		res.Tasks = gc.Tasks
 		return res, nil
 	}
 
 	if opts.Lockstep || opts.Parallelism > 1 {
-		return classifierCoverageParallel(o, ids, predicted, inPredicted, n, tau, g, opts, res)
+		return classifierCoverageParallel(o, gov, ids, predicted, inPredicted, n, tau, g, opts, res)
 	}
 
 	// Line 2-3: estimate precision on a sample of G.
@@ -170,6 +190,9 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 		id := predicted[idx]
 		labels, err := o.PointQuery(id)
 		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return classifierExhausted(res, truePos, tau), nil
+			}
 			return res, err
 		}
 		res.SampleTasks++
@@ -186,10 +209,13 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 	if res.EstFPRate < opts.FPRateThreshold {
 		res.Strategy = StrategyPartition
 		confirmed, drained, tasks, err := partitionClean(o, predicted, n, tau, g)
+		res.CleanupTasks = tasks
 		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return classifierExhausted(res, confirmed, tau), nil
+			}
 			return res, err
 		}
-		res.CleanupTasks = tasks
 		verified = confirmed
 		exactClean = drained
 	} else {
@@ -208,6 +234,9 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 			}
 			labels, err := o.PointQuery(id)
 			if err != nil {
+				if errors.Is(err, ErrBudgetExhausted) {
+					return classifierExhausted(res, verified, tau), nil
+				}
 				return res, err
 			}
 			res.CleanupTasks++
@@ -218,6 +247,17 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 	}
 
 	return classifierFinish(o, ids, inPredicted, n, tau, verified, exactClean, g, res)
+}
+
+// classifierExhausted settles a classifier audit whose budget ran out:
+// Count is the verified lower bound the committed answers prove, which
+// still decides coverage when it already reaches tau.
+func classifierExhausted(res ClassifierResult, verified, tau int) ClassifierResult {
+	res.Exhausted = true
+	res.Count = verified
+	res.Covered = verified >= tau
+	res.Tasks = res.SampleTasks + res.CleanupTasks + res.ResidualTasks
+	return res
 }
 
 // sampleBudget sizes the precision sample: ceil(fraction * |G|),
@@ -265,6 +305,7 @@ func classifierFinish(o Oracle, ids []dataset.ObjectID, inPredicted map[dataset.
 	res.Covered = gc.Covered
 	res.Count = verified + gc.Count
 	res.Exact = exactClean && gc.Exact && !gc.Covered
+	res.Exhausted = gc.Exhausted
 	res.Tasks = res.SampleTasks + res.CleanupTasks + res.ResidualTasks
 	return res, nil
 }

@@ -21,6 +21,11 @@ type GroupResult struct {
 	Count int
 	// Exact marks Count as the exact group size.
 	Exact bool
+	// Exhausted marks an audit a budget governor stopped early: the
+	// verdict is undecided (Covered false, Exact false) and Count is
+	// the lower bound proven by the queries that did commit. See
+	// Budget.
+	Exhausted bool
 	// Tasks is the number of crowd tasks this audit issued.
 	Tasks int
 }
@@ -30,6 +35,9 @@ func (r GroupResult) String() string {
 	verdict := "uncovered"
 	if r.Covered {
 		verdict = "covered"
+	}
+	if r.Exhausted {
+		verdict = "undecided (budget exhausted)"
 	}
 	exact := ""
 	if r.Exact {
@@ -112,6 +120,13 @@ func GroupCoverageOpt(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern.Gr
 		t := q.pop()
 		ans, err := o.SetQuery(ids[t.b:t.e], g)
 		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				// A budget cap is a configured stopping rule, not a
+				// failure: report the bound proven so far undecided.
+				res.Count = cnt
+				res.Exhausted = true
+				return res, nil
+			}
 			return res, err
 		}
 		res.Tasks++
@@ -193,6 +208,11 @@ func BaseCoverage(o Oracle, ids []dataset.ObjectID, tau int, g pattern.Group) (G
 	for _, id := range ids {
 		labels, err := o.PointQuery(id)
 		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				res.Count = cnt
+				res.Exhausted = true
+				return res, nil
+			}
 			return res, err
 		}
 		res.Tasks++

@@ -30,6 +30,11 @@ type IntersectionalResult struct {
 	MUPs []pattern.MUP
 	// Multiple is the underlying leaf audit.
 	Multiple *MultipleResult
+	// Exhausted is true when a budget governor stopped the audit before
+	// every pattern settled: undecidable patterns keep the Unknown
+	// verdict with the bounds the committed answers prove, and the MUP
+	// list covers only the patterns whose ancestry is fully decided.
+	Exhausted bool
 	// ResolutionTasks counts the extra tasks spent on patterns whose
 	// propagated bounds straddled tau.
 	ResolutionTasks int
@@ -62,6 +67,10 @@ func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pat
 		return nil, errors.New("core: nil schema")
 	}
 	opts.Multi = true
+	// One governor spans both phases: the leaf audits and the
+	// resolution re-audits draw from the same budget (MultipleCoverage
+	// reuses an oracle that already is a governor).
+	o, _ = applyBudget(o, opts.Budget)
 	groups := pattern.SubgroupGroups(s)
 	mres, err := MultipleCoverage(o, ids, n, tau, groups, opts)
 	if err != nil {
@@ -78,8 +87,9 @@ func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pat
 			leaves[i] = pattern.LeafBound{Lo: r.CountLo, Hi: r.CountHi, SuperID: r.SuperIndex}
 			superTotals[r.SuperIndex] = mres.SuperAudits[r.SuperIndex].TotalCount
 		default:
-			// Covered, audited individually: at least CountLo, at most
-			// the whole universe.
+			// Covered and audited individually — or unsettled under an
+			// exhausted budget: at least CountLo, at most the whole
+			// universe.
 			leaves[i] = pattern.LeafBound{Lo: r.CountLo, Hi: len(ids), SuperID: -1}
 		}
 	}
@@ -133,18 +143,26 @@ func IntersectionalCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, s *pat
 	}
 	// Settle in universe order, so task accounting and verdicts are
 	// identical to the sequential engine at every parallelism level.
+	res.Exhausted = mres.Exhausted
 	for _, r := range unresolved {
 		v := res.Verdicts[r.pattern.Key()]
 		res.ResolutionTasks += r.audit.Tasks
 		total := r.labeled + r.audit.Count
-		if r.audit.Covered {
+		switch {
+		case r.audit.Exhausted:
+			// The budget ran out mid-resolution: the pattern stays
+			// Unknown, keeping only the committed lower bound.
+			v.Bounds = pattern.Bounds{Lo: maxInt(total, v.Bounds.Lo), Hi: v.Bounds.Hi}
+			res.Exhausted = true
+		case r.audit.Covered:
 			v.Coverage = pattern.Covered
 			v.Bounds = pattern.Bounds{Lo: maxInt(total, v.Bounds.Lo), Hi: v.Bounds.Hi}
-		} else {
+			v.Resolved = true
+		default:
 			v.Coverage = pattern.Uncovered
 			v.Bounds = pattern.Bounds{Lo: total, Hi: total}
+			v.Resolved = true
 		}
-		v.Resolved = true
 		res.Verdicts[r.pattern.Key()] = v
 	}
 

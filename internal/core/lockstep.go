@@ -138,11 +138,17 @@ func (s *lockstep) maybeCommit() {
 
 // commit posts one canonical round: set queries first, point queries
 // second, each kind as a single batch in canonical order. A batch
-// error fails the whole round uniformly — every parked task sees the
-// same error, so which error surfaces never depends on scheduling, and
-// a task-side retry policy re-parks its query in a later round
-// (re-posting the round's HITs, the price of keeping failure handling
-// deterministic).
+// error fails the failing queries uniformly — every parked task behind
+// the failure sees the same error, so which error surfaces never
+// depends on scheduling, and a task-side retry policy re-parks its
+// query in a later round (re-posting the round's HITs, the price of
+// keeping failure handling deterministic). A partial-prefix batch (a
+// BudgetedOracle admitting only what the remaining budget affords)
+// delivers the committed prefix's answers to their tasks and fails the
+// rest of the round — the unadmitted sets AND every point query, which
+// sit after the sets in canonical order — with the batch's error, so a
+// budget exhausts at one deterministic point in the canonical query
+// sequence and no task ever hangs on an unanswered round.
 func (s *lockstep) commit(round []*lockstepQuery) {
 	var sets, points []*lockstepQuery
 	for _, q := range round {
@@ -158,12 +164,13 @@ func (s *lockstep) commit(round []*lockstepQuery) {
 			reqs[i] = q.req
 		}
 		answers, err := s.bo.SetQueryBatch(reqs)
-		if err != nil {
-			failRound(round, err)
-			return
+		for i := 0; i < len(answers) && i < len(sets); i++ {
+			sets[i].ans, sets[i].done = answers[i], true
 		}
-		for i, q := range sets {
-			q.ans = answers[i]
+		if err != nil {
+			failQueries(sets[len(answers):], err)
+			failQueries(points, err)
+			return
 		}
 	}
 	if len(points) > 0 {
@@ -172,12 +179,12 @@ func (s *lockstep) commit(round []*lockstepQuery) {
 			ids[i] = q.id
 		}
 		labels, err := s.bo.PointQueryBatch(ids)
-		if err != nil {
-			failRound(round, err)
-			return
+		for i := 0; i < len(labels) && i < len(points); i++ {
+			points[i].labels, points[i].done = labels[i], true
 		}
-		for i, q := range points {
-			q.labels = labels[i]
+		if err != nil {
+			failQueries(points[len(labels):], err)
+			return
 		}
 	}
 	for _, q := range round {
@@ -187,7 +194,12 @@ func (s *lockstep) commit(round []*lockstepQuery) {
 
 // failRound delivers one error to every query of a round.
 func failRound(round []*lockstepQuery, err error) {
-	for _, q := range round {
+	failQueries(round, err)
+}
+
+// failQueries delivers one error to a subset of a round's queries.
+func failQueries(queries []*lockstepQuery, err error) {
+	for _, q := range queries {
 		q.err, q.done = err, true
 	}
 }
@@ -242,10 +254,7 @@ func runLockstep(o Oracle, parallelism, n int, fn func(i int, audit Oracle) erro
 	if n == 0 {
 		return nil
 	}
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	s := newLockstep(AsBatchOracle(o, parallelism), n)
+	s := newLockstep(AsBatchOracle(o, normalizeParallelism(parallelism)), n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {

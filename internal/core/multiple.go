@@ -63,7 +63,10 @@ func LabelSamples(o Oracle, ids []dataset.ObjectID, k int, l *LabeledSet, rng *r
 	for _, id := range sample {
 		labels, err := o.PointQuery(id)
 		if err != nil {
-			return nil, tasks, err
+			// The chosen-but-unlabeled suffix stays outside both L and
+			// remaining; callers translating a budget exhaustion into a
+			// partial result still get a valid (sample-free) remainder.
+			return remaining, tasks, err
 		}
 		tasks++
 		l.Add(id, labels)
@@ -191,6 +194,12 @@ type MultipleGroupResult struct {
 	CountLo, CountHi int
 	// Exact marks the count as exact.
 	Exact bool
+	// Settled is true when the audit reached a definite verdict for
+	// this group. It is false only when a budget governor exhausted the
+	// audit first (see Budget): Covered then defaults to false and
+	// [CountLo, CountHi] are the best bounds the committed answers
+	// prove.
+	Settled bool
 	// SuperIndex points into SuperAudits when the group's verdict
 	// came from an uncovered super-group (so only the joint count is
 	// exact); -1 when the group was audited individually.
@@ -207,6 +216,10 @@ type MultipleResult struct {
 	Labeled *LabeledSet
 	// RemainingIDs are the objects never moved into L.
 	RemainingIDs []dataset.ObjectID
+	// Exhausted is true when a budget governor stopped the audit
+	// before every group settled; unsettled groups carry best-effort
+	// bounds (Settled false). Task counts tally committed queries only.
+	Exhausted bool
 	// SampleTasks, AuditTasks and Tasks break down the cost.
 	SampleTasks, AuditTasks, Tasks int
 }
@@ -252,6 +265,16 @@ type MultipleOptions struct {
 	// of aborting the audit; jitter is drawn from per-audit child RNGs
 	// split deterministically from Rng.
 	Retry RetryPolicy
+	// Budget caps the committed crowd queries of this audit: the engine
+	// wraps the oracle in a BudgetedOracle governor and, when the cap
+	// is hit, returns a deterministic partial result (Exhausted set,
+	// unsettled groups carrying best-effort bounds) instead of an
+	// error. An oracle that already is a *BudgetedOracle — the Auditor
+	// shares one governor across audits — is reused and this field is
+	// ignored. Exhaustion is byte-identical across Parallelism only
+	// under Lockstep; the free-running pool charges queries in arrival
+	// order.
+	Budget Budget
 }
 
 // MultipleCoverage is Algorithm 2: coverage identification for several
@@ -277,6 +300,7 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	if c < 0 || n < 1 || tau < 0 {
 		return nil, fmt.Errorf("core: invalid parameters (c=%d n=%d tau=%d)", c, n, tau)
 	}
+	o, _ = applyBudget(o, opts.Budget)
 	if opts.Lockstep || opts.Parallelism > 1 {
 		return multipleCoverageParallel(o, ids, n, tau, c, groups, opts)
 	}
@@ -292,6 +316,9 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	seqOracle := withRetry(o, opts.Retry, opts.Rng)
 	remaining, sampleTasks, err := LabelSamples(seqOracle, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
+		if errors.Is(err, ErrBudgetExhausted) {
+			return settleSamplingExhausted(res, remaining, sampleTasks, groups, len(ids)), nil
+		}
 		return nil, err
 	}
 	res.RemainingIDs = remaining
@@ -299,6 +326,12 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 
 	plans := buildSuperPlans(res.Labeled, tau, groups, Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi))
 	for _, plan := range plans {
+		// GroupCoverage translates budget exhaustion into a partial
+		// Exhausted result, so the loop simply runs on: once the
+		// governor refuses queries, every later audit returns
+		// exhausted at zero additional cost (or settles for free when
+		// its residual threshold is already met) and settleSuper marks
+		// the affected groups unsettled.
 		gc, err := GroupCoverage(seqOracle, remaining, n, plan.tauPrime, plan.union)
 		if err != nil {
 			return nil, err
@@ -320,6 +353,33 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	}
 	res.Tasks = res.SampleTasks + res.AuditTasks
 	return res, nil
+}
+
+// settleSamplingExhausted finishes a Multiple-Coverage run whose
+// budget ran out during the sampling phase: no super-group was ever
+// audited, so every group is unsettled with the bounds the committed
+// sample labels prove.
+func settleSamplingExhausted(res *MultipleResult, remaining []dataset.ObjectID, sampleTasks int, groups []pattern.Group, universe int) *MultipleResult {
+	res.RemainingIDs = remaining
+	res.SampleTasks = sampleTasks
+	res.Tasks = sampleTasks
+	res.Exhausted = true
+	for i, g := range groups {
+		res.Results[i] = unsettledResult(g, res.Labeled, universe)
+	}
+	return res
+}
+
+// unsettledResult is the best-effort outcome for a group whose audit a
+// budget governor stopped: at least the labeled members exist, nothing
+// above that is proven.
+func unsettledResult(g pattern.Group, l *LabeledSet, universe int) MultipleGroupResult {
+	return MultipleGroupResult{
+		Group:      g,
+		CountLo:    l.Count(g),
+		CountHi:    universe,
+		SuperIndex: -1,
+	}
 }
 
 // superPlan precomputes one super-group audit: the member indices,
@@ -380,6 +440,12 @@ func settleSuper(res *MultipleResult, plan superPlan, gc GroupResult, subs []Gro
 			audit.Tasks += subs[i].Tasks
 			res.Results[gi] = singleResult(groups[gi], subs[i], res.Labeled, universe)
 		}
+	case gc.Exhausted:
+		// The union audit stopped mid-way: a partial joint bound
+		// settles no individual member.
+		for _, gi := range plan.members {
+			res.Results[gi] = unsettledResult(groups[gi], res.Labeled, universe)
+		}
 	default:
 		// The union has fewer than tau members, so every member is
 		// uncovered (line 13); only the joint count is exact.
@@ -393,8 +459,17 @@ func settleSuper(res *MultipleResult, plan superPlan, gc GroupResult, subs []Gro
 				CountLo:    lo,
 				CountHi:    lo + gc.Count,
 				Exact:      false,
+				Settled:    true,
 				SuperIndex: superIdx,
 			}
+		}
+	}
+	if gc.Exhausted {
+		res.Exhausted = true
+	}
+	for _, sub := range subs {
+		if sub.Exhausted {
+			res.Exhausted = true
 		}
 	}
 	res.SuperAudits = append(res.SuperAudits, audit)
@@ -421,6 +496,7 @@ func singleResult(g pattern.Group, gc GroupResult, l *LabeledSet, universe int) 
 		CountLo:    lo,
 		CountHi:    universe,
 		Exact:      false,
+		Settled:    !gc.Exhausted,
 		SuperIndex: -1,
 	}
 	if !gc.Covered && gc.Exact {

@@ -76,6 +76,26 @@
 // tallies (matching the sequential engines exactly), while speculative
 // in-flight answers a deterministic early stop discards were still
 // paid HITs — the ledger, not the task count, carries that over-issue.
+//
+// Budget governance (budget.go) caps that spend end to end: a Budget
+// (max HITs, per-kind caps, max spend under a CostFunc) is enforced by
+// the BudgetedOracle middleware, which charges committed queries one at
+// a time in canonical order and admits only the affordable prefix of a
+// batch — the one middleware exercising the partial-prefix clause of
+// the BatchOracle contract, which the lockstep commit path delivers to
+// its tasks instead of discarding paid answers. Every audit algorithm
+// translates the governor's ErrBudgetExhausted into a deterministic
+// partial result (Exhausted flags, per-group Settled markers,
+// best-effort bounds from committed answers; Intersectional keeps
+// Unknown verdicts) — never a panic, an error, or a hung round. The
+// batched engines additionally narrow their speculative rounds to the
+// governor's remaining headroom: Label rounds post min(tau - verified,
+// headroom) point queries, and the Partition frontier is clipped to
+// the queue prefix that could still reach the early stop. Under
+// Lockstep the exhaustion point, partial verdicts, committed task
+// counts and ledger spend are byte-identical at every Parallelism
+// value; the free pool charges in arrival order (race-free, not
+// width-reproducible).
 package core
 
 import (

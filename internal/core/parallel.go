@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,19 @@ import (
 // MultipleOptions.Lockstep the audit rounds dispatch through the
 // lockstep scheduler (lockstep.go) instead of the free pool, extending
 // that equivalence to order-dependent oracles.
+
+// normalizeParallelism maps non-positive pool widths to 1, the one
+// normalization rule every engine shares: "no parallelism requested"
+// always means a single worker, never a hidden default width.
+// (GroupCoverageRounds historically coerced values < 1 to a magic 8
+// while the rest of the package used 1; the shared helper pins the
+// uniform behavior.)
+func normalizeParallelism(parallelism int) int {
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
 
 // RunBounded runs fn(i) for every index in [0, n) across at most
 // parallelism goroutines and returns the lowest-indexed error. Once a
@@ -123,11 +137,14 @@ func LabelSamplesBatch(o BatchOracle, ids []dataset.ObjectID, k int, l *LabeledS
 		return nil, 0, err
 	}
 	labels, err := o.PointQueryBatch(batch)
-	if err != nil {
-		return nil, 0, err
+	// A partial-prefix batch (budget governor) committed — and paid —
+	// the first len(labels) queries: fold them into L so the partial
+	// result keeps every answered HIT, then surface the error.
+	for i := 0; i < len(labels) && i < len(batch); i++ {
+		l.Add(batch[i], labels[i])
 	}
-	for i, id := range batch {
-		l.Add(id, labels[i])
+	if err != nil {
+		return remaining, len(labels), err
 	}
 	return remaining, len(batch), nil
 }
@@ -146,10 +163,7 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	if opts.NoSampling {
 		budget = 0
 	}
-	batchWidth := opts.Parallelism
-	if batchWidth < 1 {
-		batchWidth = 1
-	}
+	batchWidth := normalizeParallelism(opts.Parallelism)
 
 	// Sampling round: one batch of point queries. Retries, when
 	// enabled, wrap the inner oracle per query; the jitter RNG is the
@@ -157,6 +171,9 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	sampler := AsBatchOracle(withRetry(o, opts.Retry, opts.Rng), batchWidth)
 	remaining, sampleTasks, err := LabelSamplesBatch(sampler, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
+		if errors.Is(err, ErrBudgetExhausted) {
+			return settleSamplingExhausted(res, remaining, sampleTasks, groups, len(ids)), nil
+		}
 		return nil, err
 	}
 	res.RemainingIDs = remaining

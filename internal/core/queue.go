@@ -53,6 +53,24 @@ func (q *queue) push(t *node) {
 	q.n++
 }
 
+// front returns the front node without removing it; nil when empty.
+func (q *queue) front() *node {
+	if q.n == 0 {
+		return nil
+	}
+	return q.sentinel.qnext
+}
+
+// next returns the node after t in queue order; nil at the back. The
+// clipped round engine uses front/next to peek a prefix of the queue
+// before posting it as one batch.
+func (q *queue) next(t *node) *node {
+	if t.qnext == &q.sentinel {
+		return nil
+	}
+	return t.qnext
+}
+
 // pop removes and returns the front node; nil when empty.
 func (q *queue) pop() *node {
 	if q.n == 0 {

@@ -44,9 +44,7 @@ func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern
 	if tau < 0 {
 		return res, fmt.Errorf("core: coverage threshold tau=%d, need >= 0", tau)
 	}
-	if parallelism < 1 {
-		parallelism = 8
-	}
+	parallelism = normalizeParallelism(parallelism)
 	if tau == 0 {
 		res.Covered = true
 		return res, nil
@@ -74,13 +72,20 @@ func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern
 			reqs[i] = SetRequest{IDs: ids[t.b:t.e], Group: g}
 		}
 		answers, err := bo.SetQueryBatch(reqs)
+		exhausted := false
 		if err != nil {
-			return res, err
+			if !errors.Is(err, ErrBudgetExhausted) {
+				return res, err
+			}
+			// A budget governor admitted only a prefix of the round;
+			// its answers are committed (and paid), so fold them into
+			// the walk before reporting the partial verdict.
+			exhausted = true
 		}
-		res.Tasks += len(frontier)
+		res.Tasks += len(answers)
 
 		var next []*node
-		for i, t := range frontier {
+		for i, t := range frontier[:len(answers)] {
 			if !answers[i] {
 				continue
 			}
@@ -102,6 +107,11 @@ func GroupCoverageRounds(o Oracle, ids []dataset.ObjectID, n, tau int, g pattern
 		if cnt >= tau {
 			res.Covered = true
 			res.Count = cnt
+			return res, nil
+		}
+		if exhausted {
+			res.Count = cnt
+			res.Exhausted = true
 			return res, nil
 		}
 		frontier = next

@@ -1,0 +1,38 @@
+package crowd
+
+import "imagecvg/internal/core"
+
+// HITCost derives a core.CostFunc — the price a budget governor
+// charges per committed query — from a platform configuration: the
+// full cost the requester commits to by posting one HIT, i.e.
+// assignments times the pricing model's per-assignment quote plus the
+// platform fee. All pricing models quote deterministically
+// (BiddingPricing prices at the expected clearing bid), so governed
+// audits exhaust at the same point on every identically-seeded run;
+// the platform ledger still records what each HIT actually cost.
+func HITCost(cfg Config) core.CostFunc {
+	pricing := cfg.Pricing
+	if pricing == nil {
+		pricing = FixedPricing{Price: cfg.PricePerHIT}
+	}
+	assignments := cfg.Assignments
+	if assignments < 1 {
+		assignments = 1
+	}
+	return func(kind core.HITKind, setSize int) float64 {
+		var k QueryKind
+		switch kind {
+		case core.HITPoint:
+			k = PointQuery
+		case core.HITSet:
+			k = SetQuery
+		default:
+			k = ReverseSetQuery
+		}
+		return float64(assignments) * pricing.AssignmentPrice(k, setSize) * (1 + cfg.FeeRate)
+	}
+}
+
+// HITCost exposes the deployment's cost model so a core.Budget's
+// MaxSpend can be denominated in the same dollars the ledger tracks.
+func (p *Platform) HITCost() core.CostFunc { return HITCost(p.cfg) }

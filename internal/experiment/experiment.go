@@ -71,6 +71,15 @@ type Config struct {
 	// wires it into its audit options, falling back to the
 	// experiment's own default when zero.
 	EngineParallelism int
+	// Budget, when active, caps the committed crowd queries of each
+	// trial's audit. Like Lockstep it is a pass-through: the engine
+	// echoes it on Trial.Budget and the trial body wires it into its
+	// audit options (core.MultipleOptions.Budget /
+	// core.ClassifierOptions.Budget), so a grid can sweep the budget
+	// axis the same way it sweeps engine widths. Budgeted cells that
+	// want cross-parallelism byte-identity must also run under
+	// Lockstep.
+	Budget core.Budget
 	// Oracle optionally builds the oracle a trial audits through. Nil
 	// when the trial body constructs its own (the common case: each
 	// trial generates its own dataset). Use SharedCache to hand every
@@ -108,6 +117,9 @@ type Trial struct {
 	// EngineParallelism echoes Config.EngineParallelism; zero means
 	// the trial body applies its own default engine width.
 	EngineParallelism int
+	// Budget echoes Config.Budget; the zero value leaves the trial's
+	// audits ungoverned.
+	Budget core.Budget
 	// Oracle is the cell's shared oracle when Config.Oracle is set;
 	// nil otherwise.
 	Oracle core.Oracle
@@ -255,6 +267,7 @@ func RunMany[T any](cfgs []Config, fn func(cell int, t Trial) (T, error)) ([]*Re
 			Seed:              cfg.Seed + int64(index),
 			Lockstep:          cfg.Lockstep,
 			EngineParallelism: cfg.EngineParallelism,
+			Budget:            cfg.Budget,
 		}
 		t.Rng = rand.New(rand.NewSource(t.Seed))
 		if cfg.Oracle != nil {

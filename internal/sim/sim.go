@@ -218,6 +218,13 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "budget-frontier", Paper: "extension",
+			Description: "verdict accuracy vs committed-HIT budget across N x tau (lockstep engine, deterministic exhaustion)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunBudgetFrontier(DefaultBudgetFrontierParams(), o)
+			},
+		},
+		{
 			ID: "classifier-strategy", Paper: "extension",
 			Description: "Classifier-Coverage Partition/Label switchover across classifier false-positive rates (batched round engine)",
 			Run: func(o Options) (fmt.Stringer, error) {

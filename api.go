@@ -1,6 +1,7 @@
 package imagecvg
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -192,6 +193,8 @@ type Auditor struct {
 	retry       core.RetryPolicy
 	cache       *core.CachingOracle
 	budget      *core.BudgetedOracle
+	journaled   *core.JournalingOracle
+	ctx         context.Context
 }
 
 // NewAuditor builds an auditor asking the oracle set queries of at
@@ -283,6 +286,56 @@ func (a *Auditor) WithBudget(b Budget) *Auditor {
 	return a
 }
 
+// WithJournal makes audits through this auditor crash-safe: every
+// committed oracle round is appended to j (one RoundRecord per round —
+// use CreateJournal for the fsynced file codec), and the replay
+// records of a previous run, when non-nil, answer the first rounds of
+// the next audit without touching the oracle — resuming a killed job
+// with verdicts, task tallies and budget spend byte-identical to an
+// uninterrupted run, and without re-posting (or re-paying) a single
+// committed HIT. Replay verifies the resumed audit issues the exact
+// journaled requests and fails with ErrJournalMismatch otherwise.
+//
+// WithJournal implies WithLockstep: only the deterministic round
+// scheduler makes the round sequence a pure function of committed
+// answers, which is what replay leans on. Call it after WithBudget
+// (the governor's ledger is snapshotted per round and restored on
+// replay) and before WithCache (a cache above the journal re-fills
+// deterministically from replayed answers). Like the other stack
+// builders, the first call wins.
+func (a *Auditor) WithJournal(j RoundJournal, replay []RoundRecord) *Auditor {
+	if a.journaled == nil {
+		a.journaled = core.NewJournalingOracle(a.oracle, j, replay, a.budget).SetContext(a.ctx)
+		a.oracle = a.journaled
+		a.lockstep = true
+	}
+	return a
+}
+
+// WithContext threads ctx through every audit of this auditor:
+// cancellation fails the next oracle round before it reaches the crowd
+// (and aborts retry backoffs mid-sleep), so a cancelled job never
+// half-posts a round — with WithJournal, every round either committed
+// and was journaled, or never happened.
+func (a *Auditor) WithContext(ctx context.Context) *Auditor {
+	a.ctx = ctx
+	if a.journaled != nil {
+		a.journaled.SetContext(ctx)
+	}
+	return a
+}
+
+// JournalStats reports the journaling middleware's progress: how many
+// rounds of the current run were answered from the replay records and
+// the total rounds committed. ok is false when WithJournal was never
+// enabled.
+func (a *Auditor) JournalStats() (replayed, rounds int, ok bool) {
+	if a.journaled == nil {
+		return 0, 0, false
+	}
+	return a.journaled.Replayed(), a.journaled.Rounds(), true
+}
+
 // BudgetSpent returns the shared governor's committed consumption; ok
 // is false when WithBudget was never enabled.
 func (a *Auditor) BudgetSpent() (spent BudgetSpent, ok bool) {
@@ -309,6 +362,7 @@ func (a *Auditor) multipleOptions() core.MultipleOptions {
 		Parallelism: a.parallelism,
 		Lockstep:    a.lockstep,
 		Retry:       a.retry,
+		Ctx:         a.ctx,
 	}
 }
 
@@ -362,6 +416,7 @@ func (a *Auditor) AuditWithClassifier(ids, predicted []ObjectID, g Group) (Class
 			Parallelism: a.parallelism,
 			Lockstep:    a.lockstep,
 			Retry:       a.retry,
+			Ctx:         a.ctx,
 		})
 }
 

@@ -133,6 +133,13 @@ func BenchmarkAggregation(b *testing.B) { benchExperiment(b, "aggregation") }
 // tracks in BENCH_core.json.
 func BenchmarkLockstepLatency(b *testing.B) { benchExperiment(b, "lockstep-latency") }
 
+// BenchmarkJournalOverhead regenerates the checkpoint-cost comparison:
+// the same latency-bound lockstep workload bare vs through the fsynced
+// round journal. Crash-safety should cost one JSON encode plus one
+// fsync per committed round — a few percent, not a multiple — and the
+// CI regression gate tracks the record in BENCH_core.json.
+func BenchmarkJournalOverhead(b *testing.B) { benchExperiment(b, "journal-overhead") }
+
 // --- trial-runner benchmarks -----------------------------------------------
 
 // benchmarkHarnessTable1 regenerates Table 1 with 8 crowd deployments

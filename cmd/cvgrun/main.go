@@ -13,6 +13,8 @@
 //	cvgrun -data faces.json -mode classifier -group "1" -accuracy 0.95 -precision 0.9 -parallelism 4 -lockstep
 //	cvgrun -data faces.json -mode attribute -crowd -lockstep -max-hits 200
 //	cvgrun -data faces.json -mode group -group "1" -crowd -lockstep -max-spend 25.00
+//	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl
+//	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl -resume
 package main
 
 import (
@@ -48,6 +50,8 @@ func run(args []string, out, errOut io.Writer) int {
 		cache     = fs.Bool("cache", false, "deduplicate identical HITs with a query cache")
 		maxHITs   = fs.Int("max-hits", 0, "cap the committed crowd HITs; the audit returns a deterministic partial verdict when the cap is hit (0 = unlimited)")
 		maxSpend  = fs.Float64("max-spend", 0, "cap the committed crowd spend; with -crowd priced by the deployment's cost model (assignments x price + fee), otherwise one unit per HIT (0 = unlimited)")
+		journalAt = fs.String("journal", "", "checkpoint every committed oracle round to this crash-safe journal file (implies -lockstep)")
+		resume    = fs.Bool("resume", false, "resume from the journal's committed rounds instead of starting fresh (requires -journal); replayed rounds touch neither the crowd nor the budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +91,35 @@ func run(args []string, out, errOut io.Writer) int {
 		// The governor sits under the cache: deduplicated HITs answer
 		// for free without consuming the budget.
 		auditor = auditor.WithBudget(budget)
+	}
+	if *resume && *journalAt == "" {
+		fmt.Fprintln(errOut, "cvgrun: -resume requires -journal")
+		return 2
+	}
+	if *journalAt != "" {
+		// The journal wraps the stack above the governor (paid rounds
+		// restore the ledger on replay, never re-charge it) and below
+		// the cache; WithJournal forces lockstep, which replay needs.
+		var (
+			jnl    *imagecvg.FileJournal
+			replay []imagecvg.RoundRecord
+		)
+		if *resume {
+			jnl, replay, err = imagecvg.OpenJournal(*journalAt)
+		} else {
+			jnl, err = imagecvg.CreateJournal(*journalAt)
+		}
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
+		}
+		defer jnl.Close()
+		auditor = auditor.WithJournal(jnl, replay)
+		if *resume {
+			fmt.Fprintf(out, "journal: resuming %d committed rounds from %s\n", len(replay), *journalAt)
+		} else {
+			fmt.Fprintf(out, "journal: checkpointing to %s\n", *journalAt)
+		}
 	}
 	if *cache {
 		auditor = auditor.WithCache()
@@ -224,6 +257,10 @@ func run(args []string, out, errOut io.Writer) int {
 	if stats, ok := auditor.CacheStats(); ok {
 		fmt.Fprintf(out, "cache: %d hits / %d misses (%.0f%% saved)\n",
 			stats.Hits.Total(), stats.Misses.Total(), 100*stats.HitRate())
+	}
+	if replayed, rounds, ok := auditor.JournalStats(); ok {
+		fmt.Fprintf(out, "journal: %d rounds committed (%d replayed, %d live)\n",
+			rounds, replayed, rounds-replayed)
 	}
 	return 0
 }

@@ -231,3 +231,63 @@ func TestBudgetedCrowdAttributeMode(t *testing.T) {
 		t.Errorf("missing budget/cost reporting:\n%s", s)
 	}
 }
+
+// TestJournalCheckpointAndResume: a journaled audit checkpoints every
+// committed round; re-running with -resume answers the whole audit
+// from the journal — the verdict lines are identical and every round
+// is replayed, none live.
+func TestJournalCheckpointAndResume(t *testing.T) {
+	path := writeDataset(t, 300, 40)
+	jnl := t.TempDir() + "/audit.jnl"
+	audit := func(extra ...string) string {
+		args := append([]string{"-data", path, "-mode", "attribute", "-tau", "25",
+			"-n", "15", "-crowd", "-seed", "3", "-journal", jnl}, extra...)
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+
+	fresh := audit()
+	if !strings.Contains(fresh, "journal: checkpointing to") ||
+		!strings.Contains(fresh, "(0 replayed") {
+		t.Fatalf("fresh run journal lines missing:\n%s", fresh)
+	}
+
+	resumed := audit("-resume")
+	if !strings.Contains(resumed, "journal: resuming") {
+		t.Fatalf("resume line missing:\n%s", resumed)
+	}
+	if strings.Contains(resumed, "(0 replayed") || !strings.Contains(resumed, ", 0 live)") {
+		t.Fatalf("resumed run should replay every round:\n%s", resumed)
+	}
+	// Verdict and cost lines must be byte-identical between the live
+	// and the fully replayed run.
+	verdicts := func(s string) []string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "covered") || strings.Contains(line, "total tasks") {
+				keep = append(keep, line)
+			}
+		}
+		return keep
+	}
+	f, r := verdicts(fresh), verdicts(resumed)
+	if len(f) == 0 || len(f) != len(r) {
+		t.Fatalf("verdict lines differ in number:\n%s\nvs\n%s", fresh, resumed)
+	}
+	for i := range f {
+		if f[i] != r[i] {
+			t.Errorf("verdict line diverged:\n%s\nvs\n%s", f[i], r[i])
+		}
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	path := writeDataset(t, 50, 5)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-data", path, "-mode", "group", "-group", "1", "-resume"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"imagecvg/internal/core"
+	"imagecvg/internal/journal"
 	"imagecvg/internal/pattern"
 	"imagecvg/internal/repair"
 )
@@ -40,6 +41,13 @@ type (
 	CacheStats = core.CacheStats
 	// RetryPolicy re-posts transiently failing HITs.
 	RetryPolicy = core.RetryPolicy
+
+	// RoundJournal persists committed audit rounds for checkpoint/resume.
+	RoundJournal = core.RoundJournal
+	// RoundRecord is one committed oracle round — the checkpoint unit.
+	RoundRecord = core.RoundRecord
+	// FileJournal is the crash-safe file-backed RoundJournal.
+	FileJournal = journal.Journal
 )
 
 // Re-exported transcript and engine constructors.
@@ -58,6 +66,21 @@ var (
 	AsBatchOracle = core.AsBatchOracle
 	// ErrTransient marks retryable crowd failures.
 	ErrTransient = core.ErrTransient
+
+	// CreateJournal starts a fresh crash-safe journal file.
+	CreateJournal = journal.Create
+	// OpenJournal loads an existing journal for resumption, recovering
+	// a torn tail to the last complete round.
+	OpenJournal = journal.Open
+	// LoadJournal reads a journal's complete rounds without opening it
+	// for appends.
+	LoadJournal = journal.Load
+	// ErrJournalMismatch marks a replay whose requests diverge from the
+	// journaled run.
+	ErrJournalMismatch = core.ErrJournalMismatch
+	// ErrJournalCorrupt marks journal damage beyond a recoverable torn
+	// tail.
+	ErrJournalCorrupt = journal.ErrCorrupt
 )
 
 // NewRepairPlan computes the acquisitions that bring every pattern of

@@ -78,6 +78,8 @@ func AsBatchOracle(o Oracle, parallelism int) BatchOracle {
 		return v.withBatchParallelism(parallelism)
 	case *BudgetedOracle:
 		return v.withBatchParallelism(parallelism)
+	case *JournalingOracle:
+		return v.withBatchParallelism(parallelism)
 	}
 	if bo, ok := o.(BatchOracle); ok {
 		return bo

@@ -124,10 +124,36 @@ type BudgetedOracle struct {
 	batchWidth int
 }
 
+// normalizeBudget clamps negative caps to zero (the cap's "disabled"
+// value), mirroring normalizeParallelism's uniform rule: callers
+// computing caps as remaining - spent can go negative, and a negative
+// cap must read as "nothing left to govern with", never as a hidden
+// unlimited budget (Active treats negatives as unset, so without the
+// clamp a Budget{MaxHITs: -1} would audit ungoverned).
+func normalizeBudget(b Budget) Budget {
+	if b.MaxHITs < 0 {
+		b.MaxHITs = 0
+	}
+	if b.MaxPoint < 0 {
+		b.MaxPoint = 0
+	}
+	if b.MaxSet < 0 {
+		b.MaxSet = 0
+	}
+	if b.MaxReverseSet < 0 {
+		b.MaxReverseSet = 0
+	}
+	if b.MaxSpend < 0 {
+		b.MaxSpend = 0
+	}
+	return b
+}
+
 // NewBudgetedOracle wraps inner with the budget governor. A zero
-// (inactive) budget still counts spend but never refuses a query.
+// (inactive) budget still counts spend but never refuses a query;
+// negative caps normalize to zero (disabled).
 func NewBudgetedOracle(inner Oracle, b Budget) *BudgetedOracle {
-	return &BudgetedOracle{inner: inner, budget: b, batchWidth: 1}
+	return &BudgetedOracle{inner: inner, budget: normalizeBudget(b), batchWidth: 1}
 }
 
 // applyBudget resolves the governor for one audit: an oracle that
@@ -139,7 +165,7 @@ func applyBudget(o Oracle, b Budget) (Oracle, *BudgetedOracle) {
 	if gov, ok := o.(*BudgetedOracle); ok {
 		return o, gov
 	}
-	if !b.Active() {
+	if b = normalizeBudget(b); !b.Active() {
 		return o, nil
 	}
 	gov := NewBudgetedOracle(o, b)
@@ -162,6 +188,16 @@ func (g *BudgetedOracle) Exhausted() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.spent.Denied > 0
+}
+
+// restoreSpent resets the ledger to a journaled snapshot. The
+// journaling middleware calls it per replayed round, so a resumed
+// audit's governor charges nothing for rounds that were already paid
+// and ends exactly where the interrupted run left it.
+func (g *BudgetedOracle) restoreSpent(s BudgetSpent) {
+	g.mu.Lock()
+	g.spent = s
+	g.mu.Unlock()
 }
 
 // withBatchParallelism widens the pool used to forward admitted

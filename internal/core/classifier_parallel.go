@@ -111,6 +111,7 @@ func classifierCoverageParallel(o Oracle, gov *BudgetedOracle, ids, predicted []
 	e := &classifierEngine{o: o, gov: gov, opts: MultipleOptions{
 		Parallelism: opts.Parallelism,
 		Lockstep:    opts.Lockstep,
+		Ctx:         opts.Ctx,
 	}}
 
 	// Line 2-3: estimate precision on a sample of G, posted as one

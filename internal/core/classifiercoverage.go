@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,17 @@ type ClassifierOptions struct {
 	// speculative rounds to the remaining headroom. An oracle that
 	// already is a *BudgetedOracle is reused and this field is ignored.
 	Budget Budget
+	// Ctx cancels the audit at round boundaries (see
+	// MultipleOptions.Ctx). Nil means context.Background().
+	Ctx context.Context
+}
+
+// context resolves opts.Ctx, defaulting to context.Background().
+func (o ClassifierOptions) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // ClassifierResult reports a classifier-assisted audit.
@@ -160,8 +172,12 @@ func ClassifierCoverage(o Oracle, ids, predicted []dataset.ObjectID, n, tau int,
 	// never retries. Transient-failure handling wraps once per audit (a
 	// no-op when the policy is disabled); every phase of either engine
 	// — and the residual hunt — retries through it.
+	ctx := opts.context()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	o, gov := applyBudget(o, opts.Budget)
-	o = withRetry(o, opts.Retry, opts.Rng)
+	o = withRetry(ctx, o, opts.Retry, opts.Rng)
 
 	// Without predictions there is nothing to exploit.
 	if len(predicted) == 0 {

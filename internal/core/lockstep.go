@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -72,7 +73,8 @@ func orderCanonically(round []*lockstepQuery) {
 // lockstep coordinates one group of audit tasks through virtual
 // rounds.
 type lockstep struct {
-	bo BatchOracle
+	bo  BatchOracle
+	ctx context.Context
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -82,9 +84,9 @@ type lockstep struct {
 }
 
 // newLockstep builds a scheduler for n tasks committing rounds through
-// bo.
-func newLockstep(bo BatchOracle, n int) *lockstep {
-	s := &lockstep{bo: bo, live: n}
+// bo under ctx.
+func newLockstep(ctx context.Context, bo BatchOracle, n int) *lockstep {
+	s := &lockstep{bo: bo, ctx: ctx, live: n}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -120,7 +122,11 @@ func (s *lockstep) finish(err error) {
 
 // maybeCommit commits the round once every live task has parked.
 // Callers hold s.mu; the parked tasks are all inside cond.Wait, so the
-// oracle round runs without contention.
+// oracle round runs without contention. A cancelled context aborts the
+// round BEFORE it reaches the oracle: every round either commits in
+// full (and is journaled, if a journal is in the stack) or never
+// touches the crowd — the invariant that makes kill-at-round-K exactly
+// resumable.
 func (s *lockstep) maybeCommit() {
 	if len(s.parked) == 0 || len(s.parked) < s.live {
 		return
@@ -128,6 +134,9 @@ func (s *lockstep) maybeCommit() {
 	round := s.parked
 	s.parked = nil
 	orderCanonically(round)
+	if s.err == nil {
+		s.err = s.ctx.Err()
+	}
 	if s.err != nil {
 		failRound(round, s.err)
 	} else {
@@ -250,11 +259,14 @@ func (o *lockstepOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
 // task, a task failing on its own aborts the rest before they post
 // further queries, and the lowest-indexed task's error is returned —
 // so which error surfaces does not depend on goroutine scheduling.
-func runLockstep(o Oracle, parallelism, n int, fn func(i int, audit Oracle) error) error {
+func runLockstep(ctx context.Context, o Oracle, parallelism, n int, fn func(i int, audit Oracle) error) error {
 	if n == 0 {
 		return nil
 	}
-	s := newLockstep(AsBatchOracle(o, normalizeParallelism(parallelism)), n)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := newLockstep(ctx, AsBatchOracle(o, normalizeParallelism(parallelism)), n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -277,18 +289,22 @@ func runLockstep(o Oracle, parallelism, n int, fn func(i int, audit Oracle) erro
 // lockstep the wrapper sits task-side, so a retried query simply parks
 // again in a later round.
 func runAuditPool(o Oracle, opts MultipleOptions, seeds []int64, n int, fn func(i int, audit Oracle) error) error {
+	ctx := opts.context()
 	wrap := func(base Oracle, i int) Oracle {
 		if seeds == nil || !opts.Retry.Enabled() {
 			return base
 		}
-		return withRetry(base, opts.Retry, rand.New(rand.NewSource(seeds[i])))
+		return withRetry(ctx, base, opts.Retry, rand.New(rand.NewSource(seeds[i])))
 	}
 	if opts.Lockstep {
-		return runLockstep(o, opts.Parallelism, n, func(i int, audit Oracle) error {
+		return runLockstep(ctx, o, opts.Parallelism, n, func(i int, audit Oracle) error {
 			return fn(i, wrap(audit, i))
 		})
 	}
 	return RunBounded(opts.Parallelism, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return fn(i, wrap(o, i))
 	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -78,7 +79,7 @@ func FuzzLockstepOrder(f *testing.F) {
 		}
 
 		rec := &roundRecorder{}
-		err := runLockstep(rec, parallelism, nTasks, func(i int, audit Oracle) error {
+		err := runLockstep(context.Background(), rec, parallelism, nTasks, func(i int, audit Oracle) error {
 			for q := 0; q < queries[i]; q++ {
 				// Fuzz-controlled scheduling noise: some tasks sleep
 				// before submitting, randomizing arrival order.

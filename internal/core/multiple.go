@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -275,6 +276,20 @@ type MultipleOptions struct {
 	// under Lockstep; the free-running pool charges queries in arrival
 	// order.
 	Budget Budget
+	// Ctx cancels the audit at round boundaries: a cancelled context
+	// fails the next oracle round before it reaches the crowd (checked
+	// in the lockstep commit path, at pool dispatch, in the journaling
+	// middleware and in the retry backoff), so a killed job never
+	// half-posts a round. Nil means context.Background().
+	Ctx context.Context
+}
+
+// context resolves opts.Ctx, defaulting to context.Background().
+func (o MultipleOptions) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // MultipleCoverage is Algorithm 2: coverage identification for several
@@ -313,7 +328,11 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 	if opts.NoSampling {
 		budget = 0
 	}
-	seqOracle := withRetry(o, opts.Retry, opts.Rng)
+	ctx := opts.context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seqOracle := withRetry(ctx, o, opts.Retry, opts.Rng)
 	remaining, sampleTasks, err := LabelSamples(seqOracle, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
 		if errors.Is(err, ErrBudgetExhausted) {
@@ -326,6 +345,9 @@ func MultipleCoverage(o Oracle, ids []dataset.ObjectID, n, tau int, groups []pat
 
 	plans := buildSuperPlans(res.Labeled, tau, groups, Aggregate(res.Labeled, len(ids), tau, groups, opts.Multi))
 	for _, plan := range plans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// GroupCoverage translates budget exhaustion into a partial
 		// Exhausted result, so the loop simply runs on: once the
 		// governor refuses queries, every later audit returns

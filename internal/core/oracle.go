@@ -1,101 +1,3 @@
-// Package core implements the paper's contribution: crowd-efficient
-// coverage identification for image datasets. It contains
-//
-//   - Group-Coverage (Algorithm 1): the divide-and-conquer group-testing
-//     procedure deciding whether one group reaches the coverage
-//     threshold tau with Theta(N/n + tau log n) set queries;
-//   - Base-Coverage (Algorithm 7): the point-query baseline;
-//   - Multiple-Coverage (Algorithm 2) with LabelSamples and Aggregate
-//     (Algorithm 6): the super-group heuristic for many groups;
-//   - Intersectional-Coverage (Algorithm 3): MUP discovery over the
-//     pattern graph of several sensitive attributes;
-//   - Classifier-Coverage (Algorithm 4) with Partition and Label
-//     (Algorithm 5): exploiting a pre-trained classifier's predictions;
-//   - the theoretical task bounds of section 3.2.
-//
-// Algorithms interact with the crowd only through the Oracle
-// interface, implemented by the crowd-platform simulator, by the
-// perfect TruthOracle used in the paper's synthetic experiments, and
-// by test doubles.
-//
-// On top of the sequential algorithms sits the concurrent audit
-// engine:
-//
-//   - BatchOracle (batch.go) extends Oracle with whole-round
-//     execution, the way HIT groups are actually posted; AsBatchOracle
-//     lifts plain oracles through a bounded worker pool, while
-//     TruthOracle and the crowd platform implement it natively.
-//   - CachingOracle (cache.go) deduplicates identical queries on a
-//     canonicalized key (sorted id-set plus group members) with
-//     in-flight collapsing; errors are never cached.
-//   - MultipleOptions.Parallelism (parallel.go) runs Multiple-Coverage
-//     with super-group audits and covered-penalty re-audits fanned
-//     across a worker pool, batched sampling, and per-audit child RNGs
-//     split deterministically from the seed. Verdicts, task counts and
-//     result bytes match the sequential engine exactly for
-//     order-independent oracles at any parallelism.
-//   - RetryPolicy (retry.go) re-posts transiently failing HITs with
-//     jittered backoff drawn from the per-audit child RNG.
-//   - GroupCoverageRounds (rounds.go) issues each tree level as one
-//     SetQueryBatch round, so even the order-dependent crowd simulator
-//     reproduces identical audits at every parallelism setting.
-//   - MultipleOptions.Lockstep (lockstep.go) extends that guarantee to
-//     the whole multi-group engine: concurrent audits advance in
-//     virtual rounds whose queries commit as one BatchOracle round in
-//     canonical (super-group, member, query-sequence) order, so even
-//     order-dependent oracles produce bit-identical verdicts, task
-//     counts and spend at every Parallelism value.
-//   - ClassifierOptions.Parallelism / Lockstep (classifier_parallel.go)
-//     bring Classifier-Coverage under the same contract: the precision
-//     sample posts as one point-query round, the Label phase as
-//     bounded rounds of max(1, tau - verified) point queries whose
-//     answers commit in predicted-set order with a deterministic early
-//     stop (stop at the first index where verified >= tau, discard
-//     later in-flight answers), and the Partition phase as one
-//     reverse-set round per tree level with the sequential sibling
-//     inference applied at commit time. Round composition is a pure
-//     function of committed answers — never of the pool width.
-//
-// The determinism contract, by oracle kind:
-//
-//   - order-independent oracles (TruthOracle, stateless crowd bridges,
-//     anything whose answer is a function of the request alone) are
-//     safe with the free-running pool: verdicts and task counts equal
-//     the sequential engine at any Parallelism, with or without
-//     Lockstep.
-//   - order-dependent oracles (the crowd Platform, whose worker draws
-//     advance an RNG per HIT; any stateful simulator or aggregator)
-//     need Lockstep for cross-parallelism reproducibility, and must
-//     implement BatchOracle natively with batches executing in request
-//     order — the property the canonical round commit leans on.
-//
-// Every audit algorithm in the package now honors the contract —
-// Multiple-, Intersectional- and Classifier-Coverage all batch their
-// rounds and take the Lockstep knob. One asymmetry remains by design:
-// the batched engines count only committed queries in their task
-// tallies (matching the sequential engines exactly), while speculative
-// in-flight answers a deterministic early stop discards were still
-// paid HITs — the ledger, not the task count, carries that over-issue.
-//
-// Budget governance (budget.go) caps that spend end to end: a Budget
-// (max HITs, per-kind caps, max spend under a CostFunc) is enforced by
-// the BudgetedOracle middleware, which charges committed queries one at
-// a time in canonical order and admits only the affordable prefix of a
-// batch — the one middleware exercising the partial-prefix clause of
-// the BatchOracle contract, which the lockstep commit path delivers to
-// its tasks instead of discarding paid answers. Every audit algorithm
-// translates the governor's ErrBudgetExhausted into a deterministic
-// partial result (Exhausted flags, per-group Settled markers,
-// best-effort bounds from committed answers; Intersectional keeps
-// Unknown verdicts) — never a panic, an error, or a hung round. The
-// batched engines additionally narrow their speculative rounds to the
-// governor's remaining headroom: Label rounds post min(tau - verified,
-// headroom) point queries, and the Partition frontier is clipped to
-// the queue prefix that could still reach the early stop. Under
-// Lockstep the exhaustion point, partial verdicts, committed task
-// counts and ledger spend are byte-identical at every Parallelism
-// value; the free pool charges in arrival order (race-free, not
-// width-reproducible).
 package core
 
 import (

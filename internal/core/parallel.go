@@ -168,7 +168,10 @@ func multipleCoverageParallel(o Oracle, ids []dataset.ObjectID, n, tau, c int, g
 	// Sampling round: one batch of point queries. Retries, when
 	// enabled, wrap the inner oracle per query; the jitter RNG is the
 	// parent (the batch is issued before any audit goroutine starts).
-	sampler := AsBatchOracle(withRetry(o, opts.Retry, opts.Rng), batchWidth)
+	if err := opts.context().Err(); err != nil {
+		return nil, err
+	}
+	sampler := AsBatchOracle(withRetry(opts.context(), o, opts.Retry, opts.Rng), batchWidth)
 	remaining, sampleTasks, err := LabelSamplesBatch(sampler, ids, budget, res.Labeled, opts.Rng)
 	if err != nil {
 		if errors.Is(err, ErrBudgetExhausted) {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -31,24 +33,35 @@ func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 // draws never race and stay deterministic per audit.
 //
 // retryOracle is itself a BatchOracle: over a natively batching inner
-// oracle a transient failure re-posts the whole round (preserving the
-// inner's request-order determinism); over a plain oracle each
-// request retries individually across the propagated pool width.
+// oracle a transient failure re-posts only the unanswered suffix of
+// the round and splices the answers onto the committed prefix — a
+// prefix a budget governor already admitted and charged stays
+// committed and is never re-posted, so a retried round never
+// double-charges (and preserves the inner's request-order determinism,
+// since the committed prefix plus re-posted suffix replays the same
+// request sequence). Over a plain oracle each request retries
+// individually across the propagated pool width.
 type retryOracle struct {
 	inner  Oracle
 	policy RetryPolicy
+	ctx    context.Context
 
 	mu         sync.Mutex // guards rng and batchWidth
 	rng        *rand.Rand
 	batchWidth int
 }
 
-// withRetry wraps o unless the policy is disabled.
-func withRetry(o Oracle, policy RetryPolicy, rng *rand.Rand) Oracle {
+// withRetry wraps o unless the policy is disabled. The context bounds
+// the backoff waits: a cancelled ctx aborts a sleeping retry
+// immediately with ctx.Err() instead of posting another attempt.
+func withRetry(ctx context.Context, o Oracle, policy RetryPolicy, rng *rand.Rand) Oracle {
 	if !policy.Enabled() {
 		return o
 	}
-	return &retryOracle{inner: o, policy: policy, rng: rng, batchWidth: 1}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &retryOracle{inner: o, policy: policy, ctx: ctx, rng: rng, batchWidth: 1}
 }
 
 // withBatchParallelism widens the per-request retry pool (it never
@@ -70,7 +83,9 @@ func (r *retryOracle) width() int {
 }
 
 // do runs fn up to MaxAttempts times, backing off with jitter between
-// attempts, and keeps only transient failures retryable.
+// attempts, and keeps only transient failures retryable. The backoff
+// selects on the context, so a cancelled job stops promptly instead of
+// sleeping through its backoff and posting another attempt.
 func (r *retryOracle) do(fn func() error) error {
 	var err error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
@@ -79,7 +94,16 @@ func (r *retryOracle) do(fn func() error) error {
 			jitter := 0.5 + r.rng.Float64()
 			r.mu.Unlock()
 			if d := time.Duration(float64(r.policy.Backoff) * jitter); d > 0 {
-				time.Sleep(d)
+				timer := time.NewTimer(d)
+				select {
+				case <-r.ctx.Done():
+					timer.Stop()
+					return r.ctx.Err()
+				case <-timer.C:
+				}
+			}
+			if e := r.ctx.Err(); e != nil {
+				return e
 			}
 		}
 		if err = fn(); err == nil || !errors.Is(err, ErrTransient) {
@@ -123,15 +147,29 @@ func (r *retryOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
 }
 
 // SetQueryBatch implements BatchOracle; see the type comment for the
-// native-vs-lifted retry semantics.
+// native-vs-lifted retry semantics. Each attempt re-posts only the
+// suffix the previous attempts left unanswered: a partial prefix the
+// inner batch committed (and a budget governor charged) splices into
+// the accumulated answers instead of being posted — and paid — again.
 func (r *retryOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	if bo, ok := r.inner.(BatchOracle); ok {
 		var answers []bool
 		err := r.do(func() error {
-			var e error
-			answers, e = bo.SetQueryBatch(reqs)
+			part, e := bo.SetQueryBatch(reqs[len(answers):])
+			if rest := len(reqs) - len(answers); len(part) > rest {
+				part = part[:rest]
+			}
+			answers = append(answers, part...)
+			if e == nil && len(answers) < len(reqs) {
+				// A short answer slice without an error breaks the
+				// BatchOracle contract; surface it rather than retry.
+				return errShortBatch(len(answers), len(reqs))
+			}
 			return e
 		})
+		if err != nil && len(answers) == 0 {
+			return nil, err
+		}
 		return answers, err
 	}
 	return NewBatchAdapter(r, r.width()).SetQueryBatch(reqs)
@@ -142,11 +180,27 @@ func (r *retryOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
 	if bo, ok := r.inner.(BatchOracle); ok {
 		var labels [][]int
 		err := r.do(func() error {
-			var e error
-			labels, e = bo.PointQueryBatch(ids)
+			part, e := bo.PointQueryBatch(ids[len(labels):])
+			if rest := len(ids) - len(labels); len(part) > rest {
+				part = part[:rest]
+			}
+			labels = append(labels, part...)
+			if e == nil && len(labels) < len(ids) {
+				return errShortBatch(len(labels), len(ids))
+			}
 			return e
 		})
+		if err != nil && len(labels) == 0 {
+			return nil, err
+		}
 		return labels, err
 	}
 	return NewBatchAdapter(r, r.width()).PointQueryBatch(ids)
+}
+
+// errShortBatch reports a batch that returned fewer answers than
+// requests without an error — a contract violation, not a transient
+// failure, so do never retries it.
+func errShortBatch(got, want int) error {
+	return fmt.Errorf("core: batch returned %d of %d answers with nil error", got, want)
 }

@@ -27,6 +27,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -80,6 +81,13 @@ type Config struct {
 	// want cross-parallelism byte-identity must also run under
 	// Lockstep.
 	Budget core.Budget
+	// Ctx cancels the cell: a trial whose context is already cancelled
+	// fails before it dispatches, and the engine echoes the context on
+	// Trial.Ctx so the trial body can thread it into its audit options
+	// (core.MultipleOptions.Ctx) — a killed sweep then stops at the next
+	// round boundary instead of finishing the in-flight audits. Nil
+	// means context.Background().
+	Ctx context.Context
 	// Oracle optionally builds the oracle a trial audits through. Nil
 	// when the trial body constructs its own (the common case: each
 	// trial generates its own dataset). Use SharedCache to hand every
@@ -120,6 +128,9 @@ type Trial struct {
 	// Budget echoes Config.Budget; the zero value leaves the trial's
 	// audits ungoverned.
 	Budget core.Budget
+	// Ctx echoes Config.Ctx (never nil): thread it into the audit
+	// options so cancellation reaches the round boundaries.
+	Ctx context.Context
 	// Oracle is the cell's shared oracle when Config.Oracle is set;
 	// nil otherwise.
 	Oracle core.Oracle
@@ -261,6 +272,13 @@ func RunMany[T any](cfgs []Config, fn func(cell int, t Trial) (T, error)) ([]*Re
 			defer func() { <-sem }()
 		}
 		cfg := &results[cell].Config
+		ctx := cfg.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := Trial{
 			Cell:              cell,
 			Index:             index,
@@ -268,6 +286,7 @@ func RunMany[T any](cfgs []Config, fn func(cell int, t Trial) (T, error)) ([]*Re
 			Lockstep:          cfg.Lockstep,
 			EngineParallelism: cfg.EngineParallelism,
 			Budget:            cfg.Budget,
+			Ctx:               ctx,
 		}
 		t.Rng = rand.New(rand.NewSource(t.Seed))
 		if cfg.Oracle != nil {

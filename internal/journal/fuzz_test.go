@@ -1,0 +1,111 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+// FuzzJournalReplay drives the recovery line between torn tails and
+// corruption: starting from a valid journal, the fuzzer truncates the
+// file and/or flips one byte anywhere. Load must then either fail
+// loudly (ErrCorrupt) or return an exact prefix of the original
+// records — never a torn or damaged record passed off as a committed
+// round. Open, when it succeeds, must agree with Load and leave a file
+// that appends and reloads cleanly.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add(uint16(0), uint16(0), false)    // untouched
+	f.Add(uint16(3), uint16(0), false)    // truncated into the magic
+	f.Add(uint16(20), uint16(0), false)   // truncated mid-frame
+	f.Add(uint16(0), uint16(9), true)     // flip inside first frame header
+	f.Add(uint16(0), uint16(40), true)    // flip inside a payload
+	f.Add(uint16(1000), uint16(1), true)  // flip inside the magic
+	f.Add(uint16(500), uint16(500), true) // flip near the tail
+	f.Add(uint16(12), uint16(12), true)   // truncate and flip
+
+	g := pattern.Group{Name: "g", Members: []pattern.Pattern{{1, 0}}}
+	base := []core.RoundRecord{
+		{Round: 0, Sets: []core.SetRequest{{IDs: []dataset.ObjectID{1, 2}, Group: g}}, SetAnswers: []bool{true}},
+		{Round: 1, Points: []dataset.ObjectID{3, 4}, PointAnswers: [][]int{{0}, {1}}},
+		{Round: 2, Sets: []core.SetRequest{{IDs: []dataset.ObjectID{5}, Group: g, Reverse: true}}, SetAnswers: []bool{false}},
+		{Round: 3, Points: []dataset.ObjectID{6}, PointAnswers: [][]int{{1}}, ErrKind: "transient"},
+	}
+
+	f.Fuzz(func(t *testing.T, truncAt, flipAt uint16, flip bool) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "audit.jnl")
+		j, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range base {
+			if err := j.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mutated := append([]byte(nil), data...)
+		if n := int(truncAt) % (len(mutated) + 1); n < len(mutated) {
+			mutated = mutated[:n]
+		}
+		if flip && len(mutated) > 0 {
+			mutated[int(flipAt)%len(mutated)] ^= 1 << (flipAt % 8)
+		}
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		recs, err := Load(path)
+		if err != nil {
+			// A loud failure must be the classified corruption error —
+			// never a decode panic or a stray I/O error.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load failed with unclassified error: %v", err)
+			}
+			return
+		}
+		if len(recs) > len(base) {
+			t.Fatalf("recovered %d records from a %d-record journal", len(recs), len(base))
+		}
+		for i, rec := range recs {
+			if !recordsEqual([]core.RoundRecord{rec}, base[i:i+1]) {
+				t.Fatalf("recovered record %d diverged from the original:\n%+v\nvs\n%+v", i, rec, base[i])
+			}
+		}
+
+		// Open must recover the same prefix and leave an appendable file.
+		j2, replay, err := Open(path)
+		if err != nil {
+			t.Fatalf("Load recovered %d records but Open failed: %v", len(recs), err)
+		}
+		if len(replay) != len(recs) {
+			t.Fatalf("Open recovered %d records, Load %d", len(replay), len(recs))
+		}
+		next := core.RoundRecord{Round: len(recs), Points: []dataset.ObjectID{99}, PointAnswers: [][]int{{7}}}
+		if err := j2.Append(next); err != nil {
+			t.Fatal(err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		final, err := Load(path)
+		if err != nil {
+			t.Fatalf("reload after recovery+append: %v", err)
+		}
+		if len(final) != len(recs)+1 {
+			t.Fatalf("after recovery+append: %d records, want %d", len(final), len(recs)+1)
+		}
+	})
+}

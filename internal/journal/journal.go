@@ -1,0 +1,233 @@
+// Package journal is the crash-safe file codec behind audit
+// checkpoint/resume: one append-only file holds the committed rounds
+// of a single audit as length-prefixed, checksummed JSON frames, made
+// durable with an fsync per append — the RoundJournal the core
+// journaling middleware writes through, and the replay source a
+// resumed job loads.
+//
+// The file layout is an 8-byte magic ("CVGJNL01") followed by frames
+// of
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// where the payload is one JSON-encoded core.RoundRecord. Records are
+// self-indexing (RoundRecord.Round), so Load verifies the sequence is
+// gapless from 0.
+//
+// Recovery draws a hard line between a torn tail and corruption. A
+// crash mid-append leaves a final frame whose header or payload is
+// incomplete, or whose checksum does not match — Load drops exactly
+// that frame and returns every complete round before it, and Open
+// additionally truncates the file back to the last complete round so
+// appending resumes cleanly. Anything else — a checksum mismatch with
+// more bytes behind it, undecodable JSON, out-of-sequence round
+// numbers, a bad magic — is corruption, and Load fails loudly with
+// ErrCorrupt: silently replaying a damaged journal would fabricate
+// crowd answers.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"imagecvg/internal/core"
+)
+
+// magic identifies a journal file and its codec version.
+const magic = "CVGJNL01"
+
+// frameHeaderSize is the per-frame overhead: payload length + CRC.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds one record's encoding; a length field above it
+// is treated as corruption rather than an attempted allocation.
+const maxFrameSize = 64 << 20
+
+// ErrCorrupt marks a journal Load refuses to replay: damage beyond a
+// torn tail (mid-file checksum mismatch, undecodable record,
+// out-of-sequence rounds, bad magic).
+var ErrCorrupt = errors.New("journal: corrupt journal file")
+
+// Journal is an open journal file accepting appends. It implements
+// core.RoundJournal. Safe for concurrent use, though the core
+// middleware already serializes rounds.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	next int // expected Round of the next append
+}
+
+// Create starts a fresh journal at path, truncating any existing file,
+// and syncs the header before returning.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", path, err)
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync header: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Open loads an existing journal for resumption: it returns the
+// complete rounds on disk (the replay records for the resumed run),
+// truncates a torn tail left by a crash, and positions the journal to
+// append the next round. Corruption beyond a torn tail fails with
+// ErrCorrupt.
+func Open(path string) (*Journal, []core.RoundRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	recs, validEnd, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn tail, if any, so appends extend the last complete
+	// round.
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > validEnd {
+		if terr := f.Truncate(validEnd); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, terr)
+		}
+		if serr := f.Sync(); serr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: sync after truncate: %w", serr)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, next: len(recs)}, recs, nil
+}
+
+// Load reads the complete rounds of the journal at path without
+// opening it for appends (torn tails are skipped, not truncated).
+func Load(path string) ([]core.RoundRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	recs, _, err := readAll(f)
+	return recs, err
+}
+
+// readAll decodes every complete frame, returning the records and the
+// byte offset just past the last complete frame. A torn tail — an
+// incomplete final frame, or a final frame failing its checksum — ends
+// the read at the preceding round; any other damage is ErrCorrupt.
+func readAll(f *os.File) ([]core.RoundRecord, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: read: %w", err)
+	}
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return nil, 0, fmt.Errorf("%w: missing or wrong magic", ErrCorrupt)
+	}
+	var recs []core.RoundRecord
+	off := int64(len(magic))
+	rest := data[len(magic):]
+	for len(rest) > 0 {
+		if len(rest) < frameHeaderSize {
+			return recs, off, nil // torn tail: header incomplete
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxFrameSize {
+			return nil, 0, fmt.Errorf("%w: frame at offset %d declares %d bytes", ErrCorrupt, off, length)
+		}
+		if uint32(len(rest)-frameHeaderSize) < length {
+			return recs, off, nil // torn tail: payload incomplete
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(length)]
+		final := len(rest) == frameHeaderSize+int(length)
+		if crc32.ChecksumIEEE(payload) != sum {
+			if final {
+				return recs, off, nil // torn tail: final frame half-written
+			}
+			return nil, 0, fmt.Errorf("%w: checksum mismatch at offset %d with %d bytes following",
+				ErrCorrupt, off, len(rest)-frameHeaderSize-int(length))
+		}
+		var rec core.RoundRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, 0, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, off, err)
+		}
+		if rec.Round != len(recs) {
+			return nil, 0, fmt.Errorf("%w: record at offset %d has round %d, want %d",
+				ErrCorrupt, off, rec.Round, len(recs))
+		}
+		recs = append(recs, rec)
+		off += int64(frameHeaderSize) + int64(length)
+		rest = rest[frameHeaderSize+int(length):]
+	}
+	return recs, off, nil
+}
+
+// Append implements core.RoundJournal: one frame per committed round,
+// fsynced before returning so a crash never loses an acknowledged
+// round. Records must arrive in round order.
+func (j *Journal) Append(rec core.RoundRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: append to closed journal")
+	}
+	if rec.Round != j.next {
+		return fmt.Errorf("journal: append round %d, want %d", rec.Round, j.next)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode round %d: %w", rec.Round, err)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: write round %d: %w", rec.Round, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync round %d: %w", rec.Round, err)
+	}
+	j.next++
+	return nil
+}
+
+// Rounds returns how many rounds the journal holds.
+func (j *Journal) Rounds() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file; further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,257 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"imagecvg/internal/core"
+	"imagecvg/internal/dataset"
+	"imagecvg/internal/pattern"
+)
+
+var _ core.RoundJournal = (*Journal)(nil)
+
+// sampleRecords covers both round kinds, partial-prefix outcomes and a
+// governor snapshot.
+func sampleRecords() []core.RoundRecord {
+	g := pattern.Group{Name: "minority", Members: []pattern.Pattern{{0, 1}, {1, -1}}}
+	return []core.RoundRecord{
+		{
+			Round: 0,
+			Sets: []core.SetRequest{
+				{IDs: []dataset.ObjectID{1, 2, 3}, Group: g},
+				{IDs: []dataset.ObjectID{4, 5}, Group: g, Reverse: true},
+			},
+			SetAnswers: []bool{true, false},
+			Spent:      core.BudgetSpent{Set: 1, ReverseSet: 1, Spend: 2},
+		},
+		{
+			Round:        1,
+			Points:       []dataset.ObjectID{7, 8, 9},
+			PointAnswers: [][]int{{0, 1}, {1, 0}, {2, 2}},
+			Spent:        core.BudgetSpent{Set: 1, ReverseSet: 1, Point: 3, Spend: 5},
+		},
+		{
+			Round:      2,
+			Sets:       []core.SetRequest{{IDs: []dataset.ObjectID{10}, Group: g}},
+			SetAnswers: []bool{},
+			ErrKind:    "budget",
+			Spent:      core.BudgetSpent{Set: 1, ReverseSet: 1, Point: 3, Spend: 5, Denied: 1},
+		},
+	}
+}
+
+// writeJournal creates a journal at path holding recs.
+func writeJournal(t *testing.T, path string, recs []core.RoundRecord) {
+	t.Helper()
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordsEqual compares record slices modulo JSON nil-vs-empty slice
+// differences, by round-tripping expectations is overkill — instead
+// compare the fields that carry meaning.
+func recordsEqual(a, b []core.RoundRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Round != b[i].Round || a[i].ErrKind != b[i].ErrKind ||
+			!reflect.DeepEqual(a[i].Spent, b[i].Spent) ||
+			len(a[i].Sets) != len(b[i].Sets) || len(a[i].Points) != len(b[i].Points) ||
+			len(a[i].SetAnswers) != len(b[i].SetAnswers) || len(a[i].PointAnswers) != len(b[i].PointAnswers) {
+			return false
+		}
+		for k := range a[i].Sets {
+			if !reflect.DeepEqual(a[i].Sets[k], b[i].Sets[k]) {
+				return false
+			}
+		}
+		for k := range a[i].SetAnswers {
+			if a[i].SetAnswers[k] != b[i].SetAnswers[k] {
+				return false
+			}
+		}
+		for k := range a[i].Points {
+			if a[i].Points[k] != b[i].Points[k] {
+				return false
+			}
+		}
+		for k := range a[i].PointAnswers {
+			if !reflect.DeepEqual(a[i].PointAnswers[k], b[i].PointAnswers[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jnl")
+	recs := sampleRecords()
+	writeJournal(t, path, recs)
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(loaded, recs) {
+		t.Fatalf("loaded records diverged:\n%+v\nvs\n%+v", loaded, recs)
+	}
+
+	// Open resumes: replay records match, appends continue the sequence.
+	j, replay, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(replay, recs) {
+		t.Fatalf("Open replay records diverged")
+	}
+	next := core.RoundRecord{Round: 3, Points: []dataset.ObjectID{11}, PointAnswers: [][]int{{1, 1}}}
+	if err := j.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 4 || loaded[3].Round != 3 {
+		t.Fatalf("resumed append not persisted: %+v", loaded)
+	}
+}
+
+func TestJournalTornTailRecovers(t *testing.T) {
+	recs := sampleRecords()
+	// Torn variants: partial header, partial payload, final-frame CRC
+	// damage. Each must recover to the complete prefix.
+	tears := []struct {
+		name string
+		tear func([]byte) []byte
+	}{
+		{"partial header", func(b []byte) []byte { return append(b, 0x03, 0x00) }},
+		{"partial payload", func(b []byte) []byte {
+			return append(b, 0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x', 'y')
+		}},
+		{"final frame crc", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		}},
+	}
+	for _, tc := range tears {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "audit.jnl")
+			writeJournal(t, path, recs)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.tear(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			wantLen := len(recs)
+			if tc.name == "final frame crc" {
+				wantLen-- // the damaged final frame is the torn record
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load after %s: %v", tc.name, err)
+			}
+			if !recordsEqual(loaded, recs[:wantLen]) {
+				t.Fatalf("recovered %d records, want prefix of %d", len(loaded), wantLen)
+			}
+
+			// Open truncates the tear and appending resumes cleanly.
+			j, replay, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(replay) != wantLen {
+				t.Fatalf("Open recovered %d records, want %d", len(replay), wantLen)
+			}
+			if err := j.Append(core.RoundRecord{Round: wantLen, Points: []dataset.ObjectID{42}, PointAnswers: [][]int{{0}}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err = Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(loaded) != wantLen+1 {
+				t.Fatalf("after recovery+append: %d records, want %d", len(loaded), wantLen+1)
+			}
+		})
+	}
+}
+
+func TestJournalCorruptionIsLoud(t *testing.T) {
+	recs := sampleRecords()
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"mid-file payload flip", func(b []byte) []byte { b[len(magic)+frameHeaderSize+2] ^= 0x01; return b }},
+		{"truncated to no magic", func(b []byte) []byte { return b[:4] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "audit.jnl")
+			writeJournal(t, path, recs)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("Load = %v, want ErrCorrupt", err)
+			}
+			if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("Open = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestJournalAppendSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jnl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(core.RoundRecord{Round: 2}); err == nil {
+		t.Error("out-of-sequence append succeeded")
+	}
+	if err := j.Append(core.RoundRecord{Round: 0, Points: []dataset.ObjectID{1}, PointAnswers: [][]int{{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rounds() != 1 {
+		t.Errorf("Rounds() = %d, want 1", j.Rounds())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(core.RoundRecord{Round: 1}); err == nil {
+		t.Error("append to closed journal succeeded")
+	}
+}

@@ -30,6 +30,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from the seque
 // measurements and therefore cannot be byte-compared across machines.
 var goldenExcluded = map[string]string{
 	"lockstep-latency": "renders wall-clock; covered by the benchmark history gate instead",
+	"journal-overhead": "renders wall-clock; covered by the benchmark history gate instead",
 }
 
 // canonicalArtifact renders an experiment result without its

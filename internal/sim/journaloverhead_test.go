@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestJournalOverheadPassthrough asserts the semantics half of the
+// checkpoint-cost artifact: the journaling stack must commit the exact
+// task counts of the bare stack (the middleware is a passthrough for a
+// fresh run) and must actually journal rounds — otherwise the measured
+// "overhead" gates nothing. The wall-clock half lives in the benchmark
+// history, not here.
+func TestJournalOverheadPassthrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-bound benchmark skipped in -short")
+	}
+	res, err := RunJournalOverhead(DefaultJournalOverheadParams(), Options{Seed: 42, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Tasks != res.Rows[1].Tasks {
+		t.Errorf("task counts diverged between stacks: bare %.1f, journaled %.1f",
+			res.Rows[0].Tasks, res.Rows[1].Tasks)
+	}
+	if res.Rows[0].Rounds != 0 {
+		t.Errorf("bare stack reports %.1f journaled rounds, want 0", res.Rows[0].Rounds)
+	}
+	if res.Rows[1].Rounds < 1 {
+		t.Errorf("journaled stack committed %.1f rounds, want >= 1", res.Rows[1].Rounds)
+	}
+	if res.Overhead() <= 0 {
+		t.Errorf("overhead ratio %.2f, want > 0\n%s", res.Overhead(), res)
+	}
+}
+
+// TestExperimentCancellation: a cancelled Options.Ctx must abort the
+// harness — the engine fails trials before dispatch, and trial bodies
+// that thread Trial.Ctx into their audit options stop at the next
+// round boundary.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunJournalOverhead(DefaultJournalOverheadParams(),
+		Options{Seed: 42, Trials: 2, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

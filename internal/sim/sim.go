@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,11 @@ type Options struct {
 	// Timing optionally collects per-trial wall-clock across the
 	// experiment's cells (surfaced by cvgbench).
 	Timing *experiment.Recorder
+	// Ctx cancels a running experiment: trials that have not started
+	// fail fast, and trial bodies that thread Trial.Ctx into their
+	// audit options stop at the next committed round. Nil runs to
+	// completion.
+	Ctx context.Context
 }
 
 // cell builds the engine config for one cell of an experiment grid,
@@ -69,6 +75,7 @@ func (o Options) cell(name string, seedOffset int64) experiment.Config {
 		Lockstep:          o.Lockstep,
 		EngineParallelism: o.EngineParallelism,
 		Timing:            o.Timing,
+		Ctx:               o.Ctx,
 	}
 }
 
@@ -243,6 +250,13 @@ func Experiments() []Experiment {
 			Description: "latency-bound wall-clock of the lockstep scheduler vs the sequential engine (per-HIT round-trip delay)",
 			Run: func(o Options) (fmt.Stringer, error) {
 				return RunLockstepLatency(DefaultLatencyParams(), o)
+			},
+		},
+		{
+			ID: "journal-overhead", Paper: "extension",
+			Description: "checkpoint cost of the fsynced round journal vs the bare lockstep stack (per-HIT round-trip delay)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunJournalOverhead(DefaultJournalOverheadParams(), o)
 			},
 		},
 	}

@@ -65,6 +65,20 @@ type (
 	// Confusion is a binary confusion matrix with derived metrics.
 	Confusion = classifier.Confusion
 
+	// Response is one worker's raw (pre-aggregation) answer to one
+	// HIT, the unit of the truth-inference estimators.
+	Response = crowd.Response
+	// DSResult is the Dawid–Skene estimator's output: MAP truth,
+	// posteriors, worker accuracies.
+	DSResult = crowd.DSResult
+	// IncrementalDS folds new responses into Dawid–Skene sufficient
+	// statistics and re-runs EM warm-started from the previous
+	// posteriors; see SimulatedCrowd.Responses for the input stream.
+	IncrementalDS = crowd.IncrementalDS
+	// ResponseLog records raw assignments in platform commit order and
+	// serves delta reads to incremental consumers.
+	ResponseLog = crowd.ResponseLog
+
 	// Summary describes repeated observations (mean, stddev, 95% CI).
 	Summary = stats.Summary
 )
@@ -122,6 +136,11 @@ var (
 	// NewTruthOracle answers from ground truth (the paper's synthetic
 	// crowd simulation); useful for testing and benchmarking.
 	NewTruthOracle = core.NewTruthOracle
+
+	// DawidSkene runs batch EM truth inference over recorded
+	// responses; NewIncrementalDS is its warm-starting online form.
+	DawidSkene       = crowd.DawidSkene
+	NewIncrementalDS = crowd.NewIncrementalDS
 
 	// LowerBoundTasks, UpperBoundHITs and UpperBoundTasksLog2 are the
 	// theoretical task bounds of section 3.2.
@@ -425,6 +444,7 @@ func (a *Auditor) AuditWithClassifier(ids, predicted []ObjectID, g Group) (Class
 // redundant assignments, majority vote, and a cost ledger.
 type SimulatedCrowd struct {
 	platform *crowd.Platform
+	log      *crowd.ResponseLog
 }
 
 // CrowdOptions tunes the simulated deployment; the zero value uses
@@ -438,6 +458,11 @@ type CrowdOptions struct {
 	Qualification bool
 	// Rating enables the reputation filter (>=95 %, >=100 HITs).
 	Rating bool
+	// RecordResponses keeps every raw worker assignment of every yes/no
+	// HIT in platform commit order, retrievable via Responses — the
+	// input the Dawid–Skene estimators (DawidSkene, IncrementalDS)
+	// consume for post-hoc truth inference.
+	RecordResponses bool
 }
 
 // NewSimulatedCrowd builds a simulated crowd over the dataset.
@@ -455,11 +480,23 @@ func NewSimulatedCrowd(ds *Dataset, seed int64, opts CrowdOptions) (*SimulatedCr
 	if opts.Rating {
 		cfg.Rating = crowd.DefaultRating()
 	}
+	var log *crowd.ResponseLog
+	if opts.RecordResponses {
+		log = &crowd.ResponseLog{}
+		cfg.Responses = log
+	}
 	p, err := crowd.NewPlatform(ds, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &SimulatedCrowd{platform: p}, nil
+	return &SimulatedCrowd{platform: p, log: log}, nil
+}
+
+// Responses returns the recorded assignment log (nil unless the crowd
+// was built with RecordResponses): one Response per worker per yes/no
+// HIT in commit order, ready for DawidSkene or IncrementalDS.SyncLog.
+func (c *SimulatedCrowd) Responses() *ResponseLog {
+	return c.log
 }
 
 // SetQuery implements Oracle.

@@ -22,6 +22,9 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +59,13 @@ type benchRecord struct {
 	// the ns/op check.
 	BudgetCells     int `json:"budget_cells,omitempty"`
 	BudgetExhausted int `json:"budget_exhausted,omitempty"`
+	// HITsPerSec and AllocsPerHIT are the CPU-bound throughput metrics
+	// reported by the audit-throughput harness: committed HITs per
+	// wall-clock second and heap allocations per HIT (process-wide
+	// Mallocs delta over the audit, so the harness forces sequential
+	// trials to keep it attributable).
+	HITsPerSec   float64 `json:"hits_per_sec,omitempty"`
+	AllocsPerHIT float64 `json:"allocs_per_hit,omitempty"`
 }
 
 // benchRun is one cvgbench invocation's records, keyed for the
@@ -81,6 +91,12 @@ type taskTotaler interface{ TotalTasks() float64 }
 // budgetCeller is implemented by budget-governed results
 // (budget-frontier) reporting their capped and exhausted cell counts.
 type budgetCeller interface{ BudgetCells() (cells, exhausted int) }
+
+// throughputReporter is implemented by results that measured CPU-bound
+// audit throughput (audit-throughput).
+type throughputReporter interface {
+	Throughput() (hitsPerSec, allocsPerHIT float64)
+}
 
 // gitSHA resolves the current commit, best-effort.
 func gitSHA() string {
@@ -243,6 +259,8 @@ func run(args []string, out, errOut io.Writer) int {
 		jsonPath  = fs.String("json", "", "append benchmark records (ns/op, HIT counts) to a JSON history keyed by git SHA + timestamp, e.g. BENCH_core.json")
 		baseline  = fs.Bool("baseline", false, "with -json: report deltas against the history's previous run")
 		failPct   = fs.Float64("fail-regression", 0, "with -json: exit 3 when any experiment's ns/op regresses by more than this percentage vs the history's previous comparable run (0 disables); CI points this at the latency-bound lockstep benchmark")
+		cpuProf   = fs.String("cpuprofile", "", "directory for per-experiment CPU profiles (<dir>/<id>.cpu.pprof), created if missing; feed them to 'go tool pprof'")
+		memProf   = fs.String("memprofile", "", "directory for per-experiment allocation profiles (<dir>/<id>.mem.pprof), taken after the experiment's final GC")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -268,15 +286,57 @@ func run(args []string, out, errOut io.Writer) int {
 	opts := sim.Options{Seed: *seed, Trials: *trials, Parallelism: *trialPar,
 		Lockstep: *lockstep, EngineParallelism: *enginePar, Timing: timing}
 
+	for _, dir := range []string{*cpuProf, *memProf} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(errOut, "cvgbench:", err)
+				return 1
+			}
+		}
+	}
+	// profilePath names one experiment's profile inside dir; ids are
+	// flat today, but slashes would silently nest directories.
+	profilePath := func(dir, id, kind string) string {
+		return filepath.Join(dir, strings.ReplaceAll(id, "/", "_")+"."+kind+".pprof")
+	}
+
 	var records []benchRecord
 	runOne := func(e sim.Experiment) error {
 		timing.Reset()
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(profilePath(*cpuProf, e.ID, "cpu"))
+			if err != nil {
+				return err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			cpuFile = f
+		}
 		start := time.Now()
 		res, err := e.Run(opts)
+		if cpuFile != nil {
+			pprof.StopCPUProfile() // flushes cpuFile
+			cpuFile.Close()
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start)
+		if *memProf != "" {
+			f, err := os.Create(profilePath(*memProf, e.ID, "mem"))
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile shows live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			f.Close()
+		}
 		ts := timing.Summary()
 		fmt.Fprintf(out, "=== %s (%s) — %s [%.1fs]\n%s\n",
 			e.ID, e.Paper, e.Description, elapsed.Seconds(), res)
@@ -296,6 +356,9 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		if bc, ok := res.(budgetCeller); ok {
 			rec.BudgetCells, rec.BudgetExhausted = bc.BudgetCells()
+		}
+		if tp, ok := res.(throughputReporter); ok {
+			rec.HITsPerSec, rec.AllocsPerHIT = tp.Throughput()
 		}
 		records = append(records, rec)
 		return nil

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"imagecvg/internal/dataset"
@@ -52,6 +51,18 @@ type CachingOracle struct {
 	inflight   map[string]*inflightCall
 	stats      CacheStats
 	batchWidth int
+
+	// Key-building scratch, guarded by mu. Lookups go through
+	// map[string(bytes)] expressions, which Go compiles without
+	// materializing the string, so a cache hit allocates nothing; the
+	// string is built only when a key must be stored. keyBuf and
+	// offScratch are stolen (swapped to nil) by SetQueryBatch, whose
+	// keys must survive an unlock — a concurrent caller appending to a
+	// shared buffer would scribble over them.
+	keyBuf        []byte
+	offScratch    []int
+	sortScratch   []int
+	memberScratch []string
 }
 
 // inflightCall is a pending inner query other callers wait on.
@@ -122,6 +133,9 @@ func (c *CachingOracle) Len() int {
 // one-member group whose key happens to contain the separator — and a
 // conflated key means one paid HIT silently answers a DIFFERENT crowd
 // question.
+//
+// setKey is the reference (allocating) form; hot paths build the same
+// bytes into reused scratch via canonSet + appendSetKey.
 func setKey(ids []dataset.ObjectID, g pattern.Group, reverse bool) string {
 	sorted := make([]int, len(ids))
 	for i, id := range ids {
@@ -133,47 +147,58 @@ func setKey(ids []dataset.ObjectID, g pattern.Group, reverse bool) string {
 		members[i] = p.Key()
 	}
 	sort.Strings(members)
-
-	var b strings.Builder
-	if reverse {
-		b.WriteString("r|")
-	} else {
-		b.WriteString("s|")
-	}
-	b.WriteString(strconv.Itoa(len(members)))
-	for _, m := range members {
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(len(m)))
-		b.WriteByte(':')
-		b.WriteString(m)
-	}
-	b.WriteByte('|')
-	for i, id := range sorted {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(id))
-	}
-	return b.String()
+	return string(appendSetKey(nil, sorted, members, reverse))
 }
 
-// lookupSet returns a cached answer, or registers the caller as the
-// key's in-flight owner (call == nil means owner), or hands back an
-// existing in-flight call to wait on.
-func (c *CachingOracle) lookupSet(key string, reverse bool) (ans bool, hit bool, wait *inflightCall) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ans, ok := c.answers[key]; ok {
-		c.countSet(&c.stats.Hits, reverse)
-		return ans, true, nil
+// appendSetKey appends setKey's encoding of one canonicalized query
+// (sorted ids, sorted member keys) to dst and returns the extended
+// slice. The bytes are identical to setKey's, so scratch-built keys
+// and stored map keys always agree.
+func appendSetKey(dst []byte, sorted []int, members []string, reverse bool) []byte {
+	if reverse {
+		dst = append(dst, 'r', '|')
+	} else {
+		dst = append(dst, 's', '|')
 	}
-	if call, ok := c.inflight[key]; ok {
-		c.countSet(&c.stats.Hits, reverse)
-		return false, false, call
+	dst = strconv.AppendInt(dst, int64(len(members)), 10)
+	for _, m := range members {
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, int64(len(m)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, m...)
 	}
-	c.countSet(&c.stats.Misses, reverse)
-	c.inflight[key] = &inflightCall{done: make(chan struct{})}
-	return false, false, nil
+	dst = append(dst, '|')
+	for i, id := range sorted {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(id), 10)
+	}
+	return dst
+}
+
+// canonSet canonicalizes one set query into the oracle's sorting
+// scratch: ids sorted ascending, member pattern keys sorted
+// lexically. Callers must hold c.mu; the returned slices are valid
+// until the next canonSet call.
+func (c *CachingOracle) canonSet(ids []dataset.ObjectID, g pattern.Group) ([]int, []string) {
+	if cap(c.sortScratch) < len(ids) {
+		c.sortScratch = make([]int, len(ids))
+	}
+	sorted := c.sortScratch[:len(ids)]
+	for i, id := range ids {
+		sorted[i] = int(id)
+	}
+	sort.Ints(sorted)
+	if cap(c.memberScratch) < len(g.Members) {
+		c.memberScratch = make([]string, len(g.Members))
+	}
+	members := c.memberScratch[:len(g.Members)]
+	for i, p := range g.Members {
+		members[i] = p.Key()
+	}
+	sort.Strings(members)
+	return sorted, members
 }
 
 func (c *CachingOracle) countSet(t *TaskCounts, reverse bool) {
@@ -201,15 +226,26 @@ func (c *CachingOracle) settleSet(key string, ans bool, err error) {
 }
 
 func (c *CachingOracle) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse bool) (bool, error) {
-	key := setKey(ids, g, reverse)
-	ans, hit, wait := c.lookupSet(key, reverse)
-	if hit {
+	c.mu.Lock()
+	sorted, members := c.canonSet(ids, g)
+	c.keyBuf = appendSetKey(c.keyBuf[:0], sorted, members, reverse)
+	if ans, ok := c.answers[string(c.keyBuf)]; ok {
+		c.countSet(&c.stats.Hits, reverse)
+		c.mu.Unlock()
 		return ans, nil
 	}
-	if wait != nil {
-		<-wait.done
-		return wait.answer, wait.err
+	if call, ok := c.inflight[string(c.keyBuf)]; ok {
+		c.countSet(&c.stats.Hits, reverse)
+		c.mu.Unlock()
+		<-call.done
+		return call.answer, call.err
 	}
+	c.countSet(&c.stats.Misses, reverse)
+	key := string(c.keyBuf) // materialized only when the HIT is posted
+	c.inflight[key] = &inflightCall{done: make(chan struct{})}
+	c.mu.Unlock()
+
+	var ans bool
 	var err error
 	if reverse {
 		ans, err = c.inner.ReverseSetQuery(ids, g)
@@ -231,7 +267,13 @@ func (c *CachingOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group)
 }
 
 // pointKey is the in-flight key of one point query.
-func pointKey(id dataset.ObjectID) string { return "p|" + strconv.Itoa(int(id)) }
+func pointKey(id dataset.ObjectID) string { return string(appendPointKey(nil, id)) }
+
+// appendPointKey appends pointKey's bytes to dst.
+func appendPointKey(dst []byte, id dataset.ObjectID) []byte {
+	dst = append(dst, 'p', '|')
+	return strconv.AppendInt(dst, int64(id), 10)
+}
 
 // settlePoint publishes the inner oracle's outcome for an in-flight
 // point query; successful labels enter the cache, errors only release
@@ -259,14 +301,15 @@ func (c *CachingOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
 		c.mu.Unlock()
 		return cloneLabels(labels), nil
 	}
-	if call, ok := c.inflight[pointKey(id)]; ok {
+	c.keyBuf = appendPointKey(c.keyBuf[:0], id)
+	if call, ok := c.inflight[string(c.keyBuf)]; ok {
 		c.stats.Hits.Point++
 		c.mu.Unlock()
 		<-call.done
 		return cloneLabels(call.labels), call.err
 	}
 	c.stats.Misses.Point++
-	c.inflight[pointKey(id)] = &inflightCall{done: make(chan struct{})}
+	c.inflight[string(c.keyBuf)] = &inflightCall{done: make(chan struct{})}
 	c.mu.Unlock()
 
 	labels, err := c.inner.PointQuery(id)
@@ -292,36 +335,51 @@ func cloneLabels(labels []int) []int {
 // itself, otherwise across the propagated worker-pool width.
 func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	answers := make([]bool, len(reqs))
-	keys := make([]string, len(reqs))
 	var missReqs []SetRequest
 	var missKeys []string
-	owned := make(map[string]bool)
-	waits := make(map[string]*inflightCall)
+	var owned map[string]bool
+	var waits map[string]*inflightCall
 
 	c.mu.Lock()
+	// Steal the key scratch for this round: the keys (arena bytes plus
+	// [start,end) offset pairs) must survive the unlock below for final
+	// assembly, and a concurrent caller appending to the shared buffer
+	// would scribble over them. Given back under the assembly lock.
+	arena, offs := c.keyBuf[:0], c.offScratch[:0]
+	c.keyBuf, c.offScratch = nil, nil
 	for i, req := range reqs {
-		keys[i] = setKey(req.IDs, req.Group, req.Reverse)
-		key := keys[i]
-		if ans, ok := c.answers[key]; ok {
+		sorted, members := c.canonSet(req.IDs, req.Group)
+		start := len(arena)
+		arena = appendSetKey(arena, sorted, members, req.Reverse)
+		offs = append(offs, start, len(arena))
+		key := arena[start:]
+		if ans, ok := c.answers[string(key)]; ok {
 			c.countSet(&c.stats.Hits, req.Reverse)
 			answers[i] = ans
 			continue
 		}
-		if owned[key] || waits[key] != nil {
+		if owned[string(key)] || waits[string(key)] != nil {
 			c.countSet(&c.stats.Hits, req.Reverse)
 			continue
 		}
-		if call, ok := c.inflight[key]; ok {
+		if call, ok := c.inflight[string(key)]; ok {
 			// Another caller is posting this HIT right now.
 			c.countSet(&c.stats.Hits, req.Reverse)
-			waits[key] = call
+			if waits == nil {
+				waits = make(map[string]*inflightCall)
+			}
+			waits[string(key)] = call
 			continue
 		}
 		c.countSet(&c.stats.Misses, req.Reverse)
-		c.inflight[key] = &inflightCall{done: make(chan struct{})}
-		owned[key] = true
+		k := string(key)
+		c.inflight[k] = &inflightCall{done: make(chan struct{})}
+		if owned == nil {
+			owned = make(map[string]bool)
+		}
+		owned[k] = true
 		missReqs = append(missReqs, req)
-		missKeys = append(missKeys, key)
+		missKeys = append(missKeys, k)
 	}
 	c.mu.Unlock()
 
@@ -354,8 +412,11 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	// them.
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Give the stolen scratch back; reading arena below stays safe
+	// because no other caller can touch keyBuf until we unlock.
+	c.keyBuf, c.offScratch = arena, offs
 	for i := range reqs {
-		ans, ok := c.answers[keys[i]]
+		ans, ok := c.answers[string(arena[offs[2*i]:offs[2*i+1]])]
 		if !ok {
 			if missErr == nil {
 				missErr = errors.New("core: cache round left a query unanswered")
@@ -373,8 +434,8 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error) {
 	labels := make([][]int, len(ids))
 	var missIDs []dataset.ObjectID
-	owned := make(map[dataset.ObjectID]bool)
-	waits := make(map[dataset.ObjectID]*inflightCall)
+	var owned map[dataset.ObjectID]bool
+	var waits map[dataset.ObjectID]*inflightCall
 
 	c.mu.Lock()
 	for _, id := range ids {
@@ -386,13 +447,20 @@ func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error)
 			c.stats.Hits.Point++
 			continue
 		}
-		if call, ok := c.inflight[pointKey(id)]; ok {
+		c.keyBuf = appendPointKey(c.keyBuf[:0], id)
+		if call, ok := c.inflight[string(c.keyBuf)]; ok {
 			c.stats.Hits.Point++
+			if waits == nil {
+				waits = make(map[dataset.ObjectID]*inflightCall)
+			}
 			waits[id] = call
 			continue
 		}
 		c.stats.Misses.Point++
-		c.inflight[pointKey(id)] = &inflightCall{done: make(chan struct{})}
+		c.inflight[string(c.keyBuf)] = &inflightCall{done: make(chan struct{})}
+		if owned == nil {
+			owned = make(map[dataset.ObjectID]bool)
+		}
 		owned[id] = true
 		missIDs = append(missIDs, id)
 	}

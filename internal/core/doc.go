@@ -139,4 +139,41 @@
 // therefore never half-posts a round: every round either committed
 // (and was journaled) or never touched the crowd, which is what makes
 // kill-at-round-K exactly resumable.
+//
+// # Performance
+//
+// The audit inner loop — park a query, commit a round, draw workers,
+// perceive a glyph, aggregate — is allocation-free at steady state.
+// The profiling workflow that keeps it that way:
+//
+//	cvgbench -exp audit-throughput                # HITs/sec + allocs/HIT
+//	cvgbench -exp audit-throughput -cpuprofile p -memprofile p
+//	go tool pprof p/audit-throughput.mem.pprof
+//	go test -bench AuditThroughput -benchmem .    # the gate CI watches
+//
+// What is pooled, and where: the lockstep scheduler (lockstep.go)
+// ping-pongs the parked-round slice through a spare backing array,
+// reuses the set/point split, the SetRequest round and the point-id
+// round across commits, and recycles one lockstepQuery slot per task
+// (safe because a parked task blocks until its round delivers, so at
+// most one query per task is ever in flight). The caching oracle
+// (cache.go) builds keys into reused byte scratch and looks them up
+// via Go's allocation-free map[string(bytes)] form, materializing a
+// string only when a key is stored; batch rounds steal the scratch for
+// the duration of the call so keys survive the unlock. The crowd
+// platform reuses its worker-draw permutation, answer, glyph and label
+// buffers under the platform lock, and renders glyphs lazily on first
+// reference.
+//
+// The invariant all of it preserves: RNG consumption per committed HIT
+// is byte-for-byte what the allocating code drew — the scratch worker
+// draw replays rand.Perm's exact loop, perception reuses buffers but
+// never reorders NormFloat64 calls, and slip corruption keeps its
+// conditional second Intn. Any optimization that changes a draw
+// sequence changes every golden artifact downstream; the golden suite
+// and the lockstep conformance matrix pin this. The complementary
+// ownership rule: scratch slices handed to aggregators or the response
+// log are read-only for the duration of the call, and anything a
+// caller may retain (aggregated labels, batch answer slices) is
+// freshly allocated.
 package core

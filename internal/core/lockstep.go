@@ -81,6 +81,20 @@ type lockstep struct {
 	live   int // tasks neither finished nor aborted
 	parked []*lockstepQuery
 	err    error // sticky abort: set once a task finishes with an error
+
+	// Round scratch, recycled across rounds so a long audit stops
+	// allocating per round: spare ping-pongs with parked's backing
+	// array, and sets/points/setReqs/pointIDs are the commit path's
+	// working slices. All of it is touched only under mu or while every
+	// live task sits in cond.Wait, and none of it is ever handed to
+	// code outside the scheduler (batch oracles receive setReqs/pointIDs
+	// for the duration of the call only — the middleware stack clones
+	// what it retains).
+	spare    []*lockstepQuery
+	sets     []*lockstepQuery
+	points   []*lockstepQuery
+	setReqs  []SetRequest
+	pointIDs []dataset.ObjectID
 }
 
 // newLockstep builds a scheduler for n tasks committing rounds through
@@ -132,7 +146,7 @@ func (s *lockstep) maybeCommit() {
 		return
 	}
 	round := s.parked
-	s.parked = nil
+	s.parked = s.spare[:0]
 	orderCanonically(round)
 	if s.err == nil {
 		s.err = s.ctx.Err()
@@ -142,6 +156,9 @@ func (s *lockstep) maybeCommit() {
 	} else {
 		s.commit(round)
 	}
+	// Recycle the round's backing array: every query is done, so no
+	// waiter holds a reference into it past the broadcast.
+	s.spare = round[:0]
 	s.cond.Broadcast()
 }
 
@@ -159,7 +176,7 @@ func (s *lockstep) maybeCommit() {
 // budget exhausts at one deterministic point in the canonical query
 // sequence and no task ever hangs on an unanswered round.
 func (s *lockstep) commit(round []*lockstepQuery) {
-	var sets, points []*lockstepQuery
+	sets, points := s.sets[:0], s.points[:0]
 	for _, q := range round {
 		if q.point {
 			points = append(points, q)
@@ -167,11 +184,13 @@ func (s *lockstep) commit(round []*lockstepQuery) {
 			sets = append(sets, q)
 		}
 	}
+	s.sets, s.points = sets, points
 	if len(sets) > 0 {
-		reqs := make([]SetRequest, len(sets))
-		for i, q := range sets {
-			reqs[i] = q.req
+		reqs := s.setReqs[:0]
+		for _, q := range sets {
+			reqs = append(reqs, q.req)
 		}
+		s.setReqs = reqs
 		answers, err := s.bo.SetQueryBatch(reqs)
 		for i := 0; i < len(answers) && i < len(sets); i++ {
 			sets[i].ans, sets[i].done = answers[i], true
@@ -183,10 +202,11 @@ func (s *lockstep) commit(round []*lockstepQuery) {
 		}
 	}
 	if len(points) > 0 {
-		ids := make([]dataset.ObjectID, len(points))
-		for i, q := range points {
-			ids[i] = q.id
+		ids := s.pointIDs[:0]
+		for _, q := range points {
+			ids = append(ids, q.id)
 		}
+		s.pointIDs = ids
 		labels, err := s.bo.PointQueryBatch(ids)
 		for i := 0; i < len(labels) && i < len(points); i++ {
 			points[i].labels, points[i].done = labels[i], true
@@ -215,39 +235,46 @@ func failQueries(queries []*lockstepQuery, err error) {
 
 // lockstepOracle is the per-task Oracle facade: each query parks in
 // the scheduler and returns with its round's answer. One goroutine
-// owns it, so the sequence counter needs no lock.
+// owns it, so the sequence counter needs no lock, and because a task
+// has at most one query in flight (submit blocks until the round
+// delivers), the parking slot q is reused across the task's queries
+// instead of allocating one per HIT. The scheduler never retains a
+// query past its round's broadcast, and the labels a point query
+// returns are the batch oracle's own allocation, so slot reuse cannot
+// alias an answer a caller holds.
 type lockstepOracle struct {
 	s    *lockstep
 	task int
 	seq  int
+	q    lockstepQuery
 }
 
-// ask routes one query through the scheduler.
-func (o *lockstepOracle) ask(q *lockstepQuery) {
-	q.task, q.seq = o.task, o.seq
+// ask routes the parked slot through the scheduler.
+func (o *lockstepOracle) ask() {
+	o.q.task, o.q.seq = o.task, o.seq
 	o.seq++
-	o.s.submit(q)
+	o.s.submit(&o.q)
 }
 
 // SetQuery implements Oracle.
 func (o *lockstepOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
-	q := &lockstepQuery{req: SetRequest{IDs: ids, Group: g}}
-	o.ask(q)
-	return q.ans, q.err
+	o.q = lockstepQuery{req: SetRequest{IDs: ids, Group: g}}
+	o.ask()
+	return o.q.ans, o.q.err
 }
 
 // ReverseSetQuery implements Oracle.
 func (o *lockstepOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
-	q := &lockstepQuery{req: SetRequest{IDs: ids, Group: g, Reverse: true}}
-	o.ask(q)
-	return q.ans, q.err
+	o.q = lockstepQuery{req: SetRequest{IDs: ids, Group: g, Reverse: true}}
+	o.ask()
+	return o.q.ans, o.q.err
 }
 
 // PointQuery implements Oracle.
 func (o *lockstepOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
-	q := &lockstepQuery{point: true, id: id}
-	o.ask(q)
-	return q.labels, q.err
+	o.q = lockstepQuery{point: true, id: id}
+	o.ask()
+	return o.q.labels, o.q.err
 }
 
 // runLockstep runs fn(i) for every task in [0, n) in lockstep rounds:

@@ -9,7 +9,9 @@ import (
 // answers. Implementations must be deterministic given the answers.
 type Aggregator interface {
 	// AggregateBool returns the inferred answer. workers[i] gave
-	// answers[i]; both slices have equal nonzero length.
+	// answers[i]; both slices have equal nonzero length and are only
+	// valid for the duration of the call (the platform reuses them
+	// across HITs) — implementations may read but must not retain them.
 	AggregateBool(workers []*Worker, answers []bool) bool
 	// Name identifies the aggregator in reports.
 	Name() string

@@ -24,128 +24,232 @@ type DSResult struct {
 	Iterations int
 }
 
-// DawidSkene runs the classic EM estimator of Dawid & Skene (1979)
-// for truth inference from redundant categorical answers: it jointly
-// estimates per-worker confusion matrices and per-task posterior class
-// probabilities. Posteriors are initialized from per-task vote
-// fractions; EM stops after maxIters or when the largest posterior
-// change drops below 1e-6.
-func DawidSkene(numTasks, numWorkers, numClasses int, responses []Response, maxIters int) (*DSResult, error) {
-	if numTasks <= 0 || numWorkers <= 0 || numClasses < 2 {
-		return nil, fmt.Errorf("crowd: bad Dawid-Skene dimensions (%d tasks, %d workers, %d classes)",
-			numTasks, numWorkers, numClasses)
-	}
-	byTask := make([][]Response, numTasks)
-	for _, r := range responses {
-		if r.Task < 0 || r.Task >= numTasks || r.Worker < 0 || r.Worker >= numWorkers ||
-			r.Value < 0 || r.Value >= numClasses {
-			return nil, fmt.Errorf("crowd: response out of range: %+v", r)
-		}
-		byTask[r.Task] = append(byTask[r.Task], r)
-	}
+// dsState is the EM core shared by the batch estimator (DawidSkene)
+// and the warm-starting incremental estimator (IncrementalDS). It
+// holds the sufficient statistics — responses grouped by task — plus
+// the current posteriors, and reuses every EM scratch buffer across
+// iterations: confusion matrices are allocated once per worker and
+// reset to the smoothing constant each M-step, and the E-step writes
+// through a single scratch row. The arithmetic (operation order
+// included) matches the original single-shot implementation exactly,
+// so a cold run is bit-for-bit the batch result.
+type dsState struct {
+	numWorkers, numClasses int
 
-	// Initialize posteriors with per-task vote fractions.
-	post := make([][]float64, numTasks)
-	for t := range post {
-		post[t] = make([]float64, numClasses)
-		if len(byTask[t]) == 0 {
-			for j := range post[t] {
-				post[t][j] = 1.0 / float64(numClasses)
+	byTask [][]Response // responses grouped by task, arrival order kept
+	post   [][]float64  // current per-task posteriors
+	dirty  []bool       // tasks whose posterior needs (re)initialization
+
+	prior     []float64
+	confusion [][][]float64 // [worker][true class][answered class]
+	next      []float64     // E-step scratch row
+}
+
+const (
+	dsSmooth = 0.01 // Laplace smoothing for confusion estimates
+
+	// dsEps is the EM stop threshold on the largest posterior change.
+	// It is deliberately far below the 1e-9 equivalence budget between
+	// warm-started and batch runs: both stop within dsEps-ish of the
+	// shared fixed point, so the distance between them stays orders of
+	// magnitude inside the budget the property tests enforce.
+	dsEps = 1e-10
+)
+
+func newDSState(numWorkers, numClasses int) *dsState {
+	s := &dsState{
+		numWorkers: numWorkers,
+		numClasses: numClasses,
+		prior:      make([]float64, numClasses),
+		confusion:  make([][][]float64, numWorkers),
+		next:       make([]float64, numClasses),
+	}
+	for w := range s.confusion {
+		c := make([][]float64, numClasses)
+		for j := range c {
+			c[j] = make([]float64, numClasses)
+		}
+		s.confusion[w] = c
+	}
+	return s
+}
+
+// growTasks extends the task range to n; new tasks start dirty so the
+// next prepare gives them a posterior.
+func (s *dsState) growTasks(n int) {
+	for len(s.byTask) < n {
+		s.byTask = append(s.byTask, nil)
+		s.post = append(s.post, nil)
+		s.dirty = append(s.dirty, true)
+	}
+}
+
+// observe folds one response into the sufficient statistics and marks
+// its task for posterior re-initialization.
+func (s *dsState) observe(r Response) error {
+	if r.Task < 0 || r.Worker < 0 || r.Worker >= s.numWorkers ||
+		r.Value < 0 || r.Value >= s.numClasses {
+		return fmt.Errorf("crowd: response out of range: %+v", r)
+	}
+	s.growTasks(r.Task + 1)
+	s.byTask[r.Task] = append(s.byTask[r.Task], r)
+	s.dirty[r.Task] = true
+	return nil
+}
+
+// prepare (re)initializes the posterior of every dirty task from its
+// per-task vote fractions (uniform when the task has no responses) —
+// the same initialization the batch estimator applies to all tasks.
+// Clean tasks keep their converged posteriors, which is what makes a
+// re-run after a few new HITs a warm start.
+func (s *dsState) prepare() {
+	for t, d := range s.dirty {
+		if !d {
+			continue
+		}
+		s.dirty[t] = false
+		p := s.post[t]
+		if p == nil {
+			p = make([]float64, s.numClasses)
+			s.post[t] = p
+		}
+		for j := range p {
+			p[j] = 0
+		}
+		if len(s.byTask[t]) == 0 {
+			for j := range p {
+				p[j] = 1.0 / float64(s.numClasses)
 			}
 			continue
 		}
-		for _, r := range byTask[t] {
-			post[t][r.Value]++
+		for _, r := range s.byTask[t] {
+			p[r.Value]++
 		}
-		normalize(post[t])
+		normalize(p)
 	}
+}
 
-	const smooth = 0.01 // Laplace smoothing for confusion estimates
-	confusion := make([][][]float64, numWorkers)
-	prior := make([]float64, numClasses)
+// run iterates EM until convergence (largest posterior change below
+// dsEps) or maxIters, returning the iterations actually run.
+func (s *dsState) run(maxIters int) int {
 	iters := 0
 	for iter := 0; iter < maxIters; iter++ {
 		iters = iter + 1
 		// M-step: class priors and worker confusion matrices.
-		for j := range prior {
-			prior[j] = smooth
+		for j := range s.prior {
+			s.prior[j] = dsSmooth
 		}
-		for t := range post {
-			for j, p := range post[t] {
-				prior[j] += p
+		for t := range s.post {
+			for j, p := range s.post[t] {
+				s.prior[j] += p
 			}
 		}
-		normalize(prior)
-		for w := 0; w < numWorkers; w++ {
-			c := make([][]float64, numClasses)
+		normalize(s.prior)
+		for w := 0; w < s.numWorkers; w++ {
+			c := s.confusion[w]
 			for j := range c {
-				c[j] = make([]float64, numClasses)
 				for l := range c[j] {
-					c[j][l] = smooth
+					c[j][l] = dsSmooth
 				}
 			}
-			confusion[w] = c
 		}
-		for t, rs := range byTask {
+		for t, rs := range s.byTask {
 			for _, r := range rs {
-				for j := 0; j < numClasses; j++ {
-					confusion[r.Worker][j][r.Value] += post[t][j]
+				for j := 0; j < s.numClasses; j++ {
+					s.confusion[r.Worker][j][r.Value] += s.post[t][j]
 				}
 			}
 		}
-		for w := 0; w < numWorkers; w++ {
-			for j := 0; j < numClasses; j++ {
-				normalize(confusion[w][j])
+		for w := 0; w < s.numWorkers; w++ {
+			for j := 0; j < s.numClasses; j++ {
+				normalize(s.confusion[w][j])
 			}
 		}
 
 		// E-step: recompute posteriors.
 		maxDelta := 0.0
-		for t, rs := range byTask {
-			next := make([]float64, numClasses)
-			for j := 0; j < numClasses; j++ {
-				p := prior[j]
+		for t, rs := range s.byTask {
+			next := s.next
+			for j := 0; j < s.numClasses; j++ {
+				p := s.prior[j]
 				for _, r := range rs {
-					p *= confusion[r.Worker][j][r.Value]
+					p *= s.confusion[r.Worker][j][r.Value]
 				}
 				next[j] = p
 			}
 			normalize(next)
 			for j := range next {
-				if d := abs(next[j] - post[t][j]); d > maxDelta {
+				if d := abs(next[j] - s.post[t][j]); d > maxDelta {
 					maxDelta = d
 				}
 			}
-			post[t] = next
+			copy(s.post[t], next)
 		}
-		if maxDelta < 1e-6 {
+		if maxDelta < dsEps {
 			break
 		}
 	}
+	return iters
+}
 
+// result snapshots the current state into a DSResult. Posteriors are
+// copied so the caller's result survives further observe/run cycles.
+func (s *dsState) result(iters int) *DSResult {
+	numTasks := len(s.byTask)
 	res := &DSResult{
 		Truth:          make([]int, numTasks),
-		Posterior:      post,
-		WorkerAccuracy: make([]float64, numWorkers),
+		Posterior:      make([][]float64, numTasks),
+		WorkerAccuracy: make([]float64, s.numWorkers),
 		Iterations:     iters,
 	}
-	for t := range post {
+	for t := range s.post {
+		res.Posterior[t] = append([]float64(nil), s.post[t]...)
 		best := 0
-		for j := range post[t] {
-			if post[t][j] > post[t][best] {
+		for j, p := range s.post[t] {
+			if p > s.post[t][best] {
 				best = j
 			}
 		}
 		res.Truth[t] = best
 	}
-	for w := 0; w < numWorkers; w++ {
+	for w := 0; w < s.numWorkers; w++ {
 		acc := 0.0
-		for j := 0; j < numClasses; j++ {
-			acc += prior[j] * confusion[w][j][j]
+		for j := 0; j < s.numClasses; j++ {
+			acc += s.prior[j] * s.confusion[w][j][j]
 		}
 		res.WorkerAccuracy[w] = acc
 	}
-	return res, nil
+	return res
+}
+
+// DawidSkene runs the classic EM estimator of Dawid & Skene (1979)
+// for truth inference from redundant categorical answers: it jointly
+// estimates per-worker confusion matrices and per-task posterior class
+// probabilities. Posteriors are initialized from per-task vote
+// fractions; EM stops after maxIters or when the largest posterior
+// change drops below 1e-10.
+//
+// For repeated inference over a growing response log, IncrementalDS
+// reuses this machinery with warm-started posteriors instead of
+// re-solving from scratch.
+func DawidSkene(numTasks, numWorkers, numClasses int, responses []Response, maxIters int) (*DSResult, error) {
+	if numTasks <= 0 || numWorkers <= 0 || numClasses < 2 {
+		return nil, fmt.Errorf("crowd: bad Dawid-Skene dimensions (%d tasks, %d workers, %d classes)",
+			numTasks, numWorkers, numClasses)
+	}
+	s := newDSState(numWorkers, numClasses)
+	s.growTasks(numTasks)
+	for _, r := range responses {
+		if r.Task >= numTasks {
+			return nil, fmt.Errorf("crowd: response out of range: %+v", r)
+		}
+		if err := s.observe(r); err != nil {
+			return nil, err
+		}
+	}
+	s.prepare()
+	iters := s.run(maxIters)
+	return s.result(iters), nil
 }
 
 func normalize(v []float64) {

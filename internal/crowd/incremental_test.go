@@ -1,0 +1,422 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// synthResponses builds a redundant labeling of numTasks tasks by
+// numWorkers workers (votes assignments per task), where each answer
+// is wrong with probability errRate (wrong = truth+1 mod classes).
+// Returns the responses in task order and the ground truth.
+func synthResponses(rng *rand.Rand, numTasks, numWorkers, numClasses, votes int, errRate float64) ([]Response, []int) {
+	truth := make([]int, numTasks)
+	var responses []Response
+	for t := 0; t < numTasks; t++ {
+		truth[t] = rng.Intn(numClasses)
+		for v := 0; v < votes; v++ {
+			value := truth[t]
+			if rng.Float64() < errRate {
+				value = (value + 1 + rng.Intn(numClasses-1)) % numClasses
+			}
+			responses = append(responses, Response{Task: t, Worker: rng.Intn(numWorkers), Value: value})
+		}
+	}
+	return responses, truth
+}
+
+// majorityTruth computes the per-task plurality answer (lowest class
+// wins ties) as the reference for the noiseless/low-noise property.
+func majorityTruth(numTasks, numClasses int, responses []Response) []int {
+	counts := make([][]int, numTasks)
+	for i := range counts {
+		counts[i] = make([]int, numClasses)
+	}
+	for _, r := range responses {
+		counts[r.Task][r.Value]++
+	}
+	out := make([]int, numTasks)
+	for t, c := range counts {
+		best := 0
+		for j := range c {
+			if c[j] > c[best] {
+				best = j
+			}
+		}
+		out[t] = best
+	}
+	return out
+}
+
+// TestDawidSkeneAgreesWithMajority: with noiseless answers DS must
+// recover the unanimous label, and in the platform's low-noise regime
+// it must agree with the majority vote on every task.
+func TestDawidSkeneAgreesWithMajority(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		errRate float64
+	}{
+		{"noiseless", 0},
+		{"low-noise", 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			responses, truth := synthResponses(rng, 200, 15, 2, 5, tc.errRate)
+			res, err := DawidSkene(200, 15, 2, responses, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := majorityTruth(200, 2, responses)
+			if !equalLabels(res.Truth, want) {
+				t.Fatalf("DS truth disagrees with majority (errRate=%v)", tc.errRate)
+			}
+			if tc.errRate == 0 && !equalLabels(res.Truth, truth) {
+				t.Fatal("noiseless DS truth disagrees with ground truth")
+			}
+		})
+	}
+}
+
+// TestDawidSkenePermutationInvariance: shuffling the response slice
+// must not change the MAP truth and moves posteriors by at most the
+// floating-point reassociation noise (well under 1e-9).
+func TestDawidSkenePermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	responses, _ := synthResponses(rng, 150, 12, 3, 5, 0.1)
+	base, err := DawidSkene(150, 12, 3, responses, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]Response(nil), responses...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := DawidSkene(150, 12, 3, shuffled, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalLabels(got.Truth, base.Truth) {
+			t.Fatalf("trial %d: MAP truth changed under permutation", trial)
+		}
+		if d := maxPosteriorDiff(got.Posterior, base.Posterior); d > 1e-9 {
+			t.Fatalf("trial %d: posterior moved %g > 1e-9 under permutation", trial, d)
+		}
+	}
+}
+
+func maxPosteriorDiff(a, b [][]float64) float64 {
+	max := 0.0
+	for t := range a {
+		for j := range a[t] {
+			if d := math.Abs(a[t][j] - b[t][j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// TestIncrementalColdMatchesBatchExactly: the first Infer over a fully
+// loaded log shares the batch estimator's EM core and initialization,
+// so the result must be bit-identical — not merely close.
+func TestIncrementalColdMatchesBatchExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	responses, _ := synthResponses(rng, 120, 10, 2, 3, 0.08)
+	batch, err := DawidSkene(120, 10, 2, responses, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalDS(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range responses {
+		if err := inc.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold, err := inc.Infer(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalLabels(cold.Truth, batch.Truth) {
+		t.Fatal("cold incremental MAP differs from batch")
+	}
+	if cold.Iterations != batch.Iterations {
+		t.Fatalf("cold incremental ran %d iterations, batch %d", cold.Iterations, batch.Iterations)
+	}
+	for tt := range batch.Posterior {
+		for j := range batch.Posterior[tt] {
+			if cold.Posterior[tt][j] != batch.Posterior[tt][j] {
+				t.Fatalf("task %d class %d: cold %v != batch %v (must be bit-identical)",
+					tt, j, cold.Posterior[tt][j], batch.Posterior[tt][j])
+			}
+		}
+	}
+	for w := range batch.WorkerAccuracy {
+		if cold.WorkerAccuracy[w] != batch.WorkerAccuracy[w] {
+			t.Fatalf("worker %d accuracy differs", w)
+		}
+	}
+}
+
+// TestIncrementalWarmMatchesBatch: syncing a growing log in chunks and
+// warm-starting EM after each must land on the batch answer — same MAP
+// truth, posteriors within 1e-9 — and, once the new chunks are small
+// relative to the converged log (the K << N regime the estimator is
+// built for), spend fewer EM iterations than a cold solve.
+func TestIncrementalWarmMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	responses, _ := synthResponses(rng, 600, 15, 2, 3, 0.05)
+	log := &ResponseLog{}
+	inc, err := NewIncrementalDS(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One big initial sync, then small 20-task deltas.
+	chunkEnds := []int{1680, 1740, 1800}
+	numTasks := 0
+	start := 0
+	warmIters, batchIters := 0, 0
+	for _, end := range chunkEnds {
+		for _, r := range responses[start:end] {
+			log.mu.Lock()
+			log.responses = append(log.responses, r)
+			log.mu.Unlock()
+			if r.Task+1 > numTasks {
+				numTasks = r.Task + 1
+			}
+		}
+		if n, err := inc.SyncLog(log); err != nil {
+			t.Fatal(err)
+		} else if n != end-start {
+			t.Fatalf("SyncLog consumed %d responses, want %d", n, end-start)
+		}
+		// Generous iteration cap so both runs stop on the dsEps
+		// convergence test rather than the cap.
+		warm, err := inc.Infer(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := DawidSkene(numTasks, 15, 2, responses[:end], 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalLabels(warm.Truth, batch.Truth) {
+			t.Fatalf("prefix %d: warm MAP differs from batch", end)
+		}
+		if d := maxPosteriorDiff(warm.Posterior, batch.Posterior); d > 1e-9 {
+			t.Fatalf("prefix %d: warm posterior off by %g > 1e-9", end, d)
+		}
+		warmIters, batchIters = warm.Iterations, batch.Iterations
+		start = end
+	}
+	// The final delta re-initialized only 20 of 600 tasks; warm-started
+	// EM must converge in strictly fewer iterations than a cold solve.
+	if warmIters >= batchIters {
+		t.Fatalf("final warm run took %d iterations, batch %d — warm start saved nothing", warmIters, batchIters)
+	}
+}
+
+// TestResponseLogConcurrentAppendRead drives concurrent record/Len/
+// ResponsesSince/HITs calls (the -race build makes this a locking
+// proof) and checks that delta reads stitch back into the full log.
+func TestResponseLogConcurrentAppendRead(t *testing.T) {
+	log := &ResponseLog{}
+	workers := []*Worker{{ID: 3}, {ID: 7}}
+	const hits = 500
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < hits; i++ {
+			log.record(workers, []bool{i%2 == 0, i%3 == 0})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		seen := 0
+		for log.HITs() < hits {
+			n := log.Len()
+			if n < seen {
+				t.Errorf("Len went backwards: %d -> %d", seen, n)
+				return
+			}
+			delta := log.ResponsesSince(seen)
+			seen += len(delta)
+		}
+	}()
+	wg.Wait()
+
+	if got := log.Len(); got != 2*hits {
+		t.Fatalf("Len = %d, want %d", got, 2*hits)
+	}
+	full := log.Responses()
+	tail := log.ResponsesSince(2 * hits / 2)
+	for i, r := range tail {
+		if full[hits+i] != r {
+			t.Fatalf("ResponsesSince misaligned at %d", i)
+		}
+	}
+	if log.ResponsesSince(-5)[0] != full[0] || log.ResponsesSince(1<<30) != nil {
+		t.Fatal("ResponsesSince out-of-range clamping broken")
+	}
+}
+
+// FuzzIncrementalDS decodes an arbitrary byte string into responses
+// and checks the structural invariants: a cold incremental run is
+// bit-identical to the batch estimator, and a warm-started re-run
+// still yields normalized posteriors with Truth = argmax.
+func FuzzIncrementalDS(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 1, 0, 2, 0, 1})
+	f.Add([]byte{5, 3, 2, 5, 1, 2, 0, 0, 0, 1, 2, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const numWorkers, numClasses = 4, 3
+		var responses []Response
+		numTasks := 1
+		for i := 0; i+2 < len(data) && len(responses) < 64; i += 3 {
+			r := Response{
+				Task:   int(data[i]) % 8,
+				Worker: int(data[i+1]) % numWorkers,
+				Value:  int(data[i+2]) % numClasses,
+			}
+			if r.Task+1 > numTasks {
+				numTasks = r.Task + 1
+			}
+			responses = append(responses, r)
+		}
+
+		batch, err := DawidSkene(numTasks, numWorkers, numClasses, responses, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewIncrementalDS(numWorkers, numClasses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(responses) / 2
+		for _, r := range responses[:half] {
+			if err := inc.Observe(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if half > 0 {
+			if _, err := inc.Infer(25); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range responses[half:] {
+			if err := inc.Observe(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Warm run: structurally valid posteriors, Truth = argmax.
+		if inc.Tasks() > 0 {
+			warm, err := inc.Infer(25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tt, p := range warm.Posterior {
+				sum := 0.0
+				best := 0
+				for j, v := range p {
+					if math.IsNaN(v) || v < 0 || v > 1+1e-12 {
+						t.Fatalf("task %d: invalid posterior %v", tt, p)
+					}
+					sum += v
+					if v > p[best] {
+						best = j
+					}
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("task %d: posterior sums to %v", tt, sum)
+				}
+				if warm.Truth[tt] != best {
+					t.Fatalf("task %d: Truth %d != argmax %d", tt, warm.Truth[tt], best)
+				}
+			}
+		}
+
+		// Cold run over the same responses is bit-identical to batch.
+		cold, err := NewIncrementalDS(numWorkers, numClasses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range responses {
+			if err := cold.Observe(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(responses) == 0 {
+			return
+		}
+		res, err := cold.Infer(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt < len(res.Truth) && tt < len(batch.Truth); tt++ {
+			if res.Truth[tt] != batch.Truth[tt] {
+				t.Fatalf("task %d: cold truth %d != batch %d", tt, res.Truth[tt], batch.Truth[tt])
+			}
+			for j := range batch.Posterior[tt] {
+				if res.Posterior[tt][j] != batch.Posterior[tt][j] {
+					t.Fatalf("task %d class %d: cold posterior not bit-identical to batch", tt, j)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDawidSkeneIncremental compares folding K new HITs into a
+// converged incremental state (warm) against re-solving the whole log
+// from scratch (batch).
+func BenchmarkDawidSkeneIncremental(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	base, _ := synthResponses(rng, 3000, 20, 2, 3, 0.05)
+	delta, _ := synthResponses(rng, 50, 20, 2, 3, 0.05)
+	for i := range delta {
+		delta[i].Task += 3000 // the new HITs extend the task range
+	}
+	all := append(append([]Response(nil), base...), delta...)
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DawidSkene(3050, 20, 2, all, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			inc, err := NewIncrementalDS(20, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range base {
+				if err := inc.Observe(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := inc.Infer(25); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, r := range delta {
+				if err := inc.Observe(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := inc.Infer(25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -90,11 +90,27 @@ type Platform struct {
 
 	mu  sync.Mutex // serializes HITs: rng, worker RNG state, ledger
 	rng *rand.Rand
+
+	// Scratch buffers reused by the hot query path, guarded by mu.
+	// They never escape a query: anything handed to callers (aggregated
+	// labels, batch answer slices) is freshly allocated, and the
+	// in-query consumers (Group.Matches, Aggregator, ResponseLog) read
+	// values without retaining the slices. permScratch reproduces
+	// rand.Perm's exact draw sequence without its per-HIT allocation;
+	// see draw.
+	permScratch   []int
+	workerScratch []*Worker
+	answerScratch []bool
+	glyphScratch  []imagegen.Glyph
+	labelScratch  []int
+	pointScratch  [][]int
 }
 
 // NewPlatform builds a platform over the dataset: generates the worker
-// pool, applies the configured quality controls, and pre-renders every
-// object's glyph.
+// pool and applies the configured quality controls. Glyphs render
+// lazily on first query (rendering consumes no RNG, so transcripts are
+// identical to eager pre-rendering), keeping construction O(1) in the
+// dataset size; WarmGlyphs renders them all up front when wanted.
 func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
 	if ds == nil {
 		return nil, errors.New("crowd: nil dataset")
@@ -120,19 +136,11 @@ func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
 	p := &Platform{
 		ds:       ds,
 		renderer: renderer,
-		glyphs:   make(map[dataset.ObjectID]imagegen.Glyph, ds.Size()),
+		glyphs:   make(map[dataset.ObjectID]imagegen.Glyph),
 		cfg:      cfg,
 		pool:     pool,
 		ledger:   NewLedger(cfg.FeeRate),
 		rng:      rng,
-	}
-	for i := 0; i < ds.Size(); i++ {
-		o := ds.At(i)
-		g, err := renderer.Render(o.Labels, 0, nil)
-		if err != nil {
-			return nil, err
-		}
-		p.glyphs[o.ID] = g
 	}
 	for _, w := range pool {
 		if cfg.Rating != nil && !cfg.Rating.Eligible(w) {
@@ -155,6 +163,22 @@ func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
 	return p, nil
 }
 
+// WarmGlyphs renders every object's glyph up front. Rendering consumes
+// no RNG, so warming changes no transcript; it only moves the rendering
+// cost out of the first queries — useful before a measured audit.
+func (p *Platform) WarmGlyphs() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < p.ds.Size(); i++ {
+		o := p.ds.At(i)
+		if _, ok := p.glyphs[o.ID]; !ok {
+			if g, err := p.renderer.Render(o.Labels, 0, nil); err == nil {
+				p.glyphs[o.ID] = g
+			}
+		}
+	}
+}
+
 // Ledger returns the platform's cost ledger.
 func (p *Platform) Ledger() *Ledger { return p.ledger }
 
@@ -165,23 +189,63 @@ func (p *Platform) EligibleWorkers() int { return len(p.eligible) }
 func (p *Platform) PoolSize() int { return len(p.pool) }
 
 // draw picks the redundancy set of workers for one HIT, without
-// replacement when the eligible pool allows it.
+// replacement when the eligible pool allows it. The returned slice is
+// the platform's scratch buffer, valid until the next draw; callers
+// hold p.mu and never retain it.
 func (p *Platform) draw() []*Worker {
 	k := p.cfg.Assignments
+	if cap(p.workerScratch) < k {
+		p.workerScratch = make([]*Worker, k)
+	}
+	out := p.workerScratch[:k]
 	if k <= len(p.eligible) {
-		out := make([]*Worker, k)
-		for i, idx := range p.rng.Perm(len(p.eligible))[:k] {
-			out[i] = p.eligible[idx]
+		n := len(p.eligible)
+		if cap(p.permScratch) < n {
+			p.permScratch = make([]int, n)
+		}
+		// rand.Perm's exact loop over a reused buffer: the same n Intn
+		// draws in the same order, so transcripts are byte-identical to
+		// the allocating version. m[i] is written at iteration i before
+		// any later read, so stale scratch contents cannot leak in (the
+		// j == i case reads m[i] but immediately overwrites it).
+		m := p.permScratch[:n]
+		for i := 0; i < n; i++ {
+			j := p.rng.Intn(i + 1)
+			m[i] = m[j]
+			m[j] = i
+		}
+		for i := range out {
+			out[i] = p.eligible[m[i]]
 		}
 		return out
 	}
-	out := make([]*Worker, k)
 	for i := range out {
 		out[i] = p.eligible[p.rng.Intn(len(p.eligible))]
 	}
 	return out
 }
 
+// glyph returns the object's rendered glyph, rendering and memoizing
+// it on first use. Rendering takes no RNG, so the lazy fill changes no
+// transcript. Callers hold p.mu.
+func (p *Platform) glyph(id dataset.ObjectID) (imagegen.Glyph, error) {
+	if g, ok := p.glyphs[id]; ok {
+		return g, nil
+	}
+	o, ok := p.ds.ByID(id)
+	if !ok {
+		return imagegen.Glyph{}, fmt.Errorf("crowd: unknown object %d", id)
+	}
+	g, err := p.renderer.Render(o.Labels, 0, nil)
+	if err != nil {
+		return imagegen.Glyph{}, err
+	}
+	p.glyphs[id] = g
+	return g, nil
+}
+
+// glyphsFor resolves a set query's glyphs into the platform's scratch
+// buffer, valid until the next query; callers hold p.mu.
 func (p *Platform) glyphsFor(ids []dataset.ObjectID) ([]imagegen.Glyph, error) {
 	if len(ids) == 0 {
 		return nil, errors.New("crowd: empty query set")
@@ -189,11 +253,14 @@ func (p *Platform) glyphsFor(ids []dataset.ObjectID) ([]imagegen.Glyph, error) {
 	if p.cfg.SetSizeLimit > 0 && len(ids) > p.cfg.SetSizeLimit {
 		return nil, fmt.Errorf("crowd: set query of %d images exceeds limit %d", len(ids), p.cfg.SetSizeLimit)
 	}
-	out := make([]imagegen.Glyph, len(ids))
+	if cap(p.glyphScratch) < len(ids) {
+		p.glyphScratch = make([]imagegen.Glyph, len(ids))
+	}
+	out := p.glyphScratch[:len(ids)]
 	for i, id := range ids {
-		g, ok := p.glyphs[id]
-		if !ok {
-			return nil, fmt.Errorf("crowd: unknown object %d", id)
+		g, err := p.glyph(id)
+		if err != nil {
+			return nil, err
 		}
 		out[i] = g
 	}
@@ -256,12 +323,15 @@ func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse boo
 		return false, err
 	}
 	workers := p.draw()
-	answers := make([]bool, len(workers))
+	if cap(p.answerScratch) < len(workers) {
+		p.answerScratch = make([]bool, len(workers))
+	}
+	answers := p.answerScratch[:len(workers)]
 	for i, w := range workers {
 		ans := false
-		for _, gl := range glyphs {
-			labels := w.perceiveLabels(p.renderer, gl)
-			match := g.Matches(labels)
+		for gi := range glyphs {
+			p.labelScratch = w.perceiveLabelsInto(p.renderer, glyphs[gi], p.labelScratch)
+			match := g.Matches(p.labelScratch)
 			if reverse {
 				match = !match
 			}
@@ -294,20 +364,24 @@ func (p *Platform) PointQuery(id dataset.ObjectID) ([]int, error) {
 	return p.pointQuery(id)
 }
 
-// pointQuery publishes one point HIT; callers hold p.mu.
+// pointQuery publishes one point HIT; callers hold p.mu. The
+// aggregated result is freshly allocated (ownership passes to the
+// caller); only the per-worker answer rows are platform scratch.
 func (p *Platform) pointQuery(id dataset.ObjectID) ([]int, error) {
-	glyphs, err := p.glyphsFor([]dataset.ObjectID{id})
+	glyph, err := p.glyph(id)
 	if err != nil {
 		return nil, err
 	}
 	workers := p.draw()
-	answers := make([][]int, len(workers))
+	if cap(p.pointScratch) < len(workers) {
+		p.pointScratch = make([][]int, len(workers))
+	}
+	answers := p.pointScratch[:len(workers)]
 	for i, w := range workers {
-		labels := w.perceiveLabels(p.renderer, glyphs[0])
+		answers[i] = w.perceiveLabelsInto(p.renderer, glyph, answers[i])
 		if w.slip() {
-			labels = corruptOneAttr(labels, p.ds.Schema(), w.rng)
+			corruptOneAttrInPlace(answers[i], p.ds.Schema(), w.rng)
 		}
-		answers[i] = labels
 	}
 	p.ledger.Record(PointQuery, len(workers), p.cfg.Pricing.AssignmentPrice(PointQuery, 1))
 	return AggregateLabels(answers)

@@ -71,17 +71,25 @@ func (f *RatingFilter) Eligible(w *Worker) bool {
 func corruptOneAttr(labels []int, s *pattern.Schema, rng *rand.Rand) []int {
 	out := make([]int, len(labels))
 	copy(out, labels)
-	attr := rng.Intn(len(out))
+	corruptOneAttrInPlace(out, s, rng)
+	return out
+}
+
+// corruptOneAttrInPlace is corruptOneAttr without the defensive copy,
+// for hot paths that own the slice. RNG consumption is identical: one
+// Intn picking the attribute, one more only when its cardinality
+// admits a different value.
+func corruptOneAttrInPlace(labels []int, s *pattern.Schema, rng *rand.Rand) {
+	attr := rng.Intn(len(labels))
 	c := s.Attr(attr).Cardinality()
 	if c < 2 {
-		return out
+		return
 	}
 	v := rng.Intn(c - 1)
-	if v >= out[attr] {
+	if v >= labels[attr] {
 		v++
 	}
-	out[attr] = v
-	return out
+	labels[attr] = v
 }
 
 func equalLabels(a, b []int) bool {

@@ -45,9 +45,31 @@ func (l *ResponseLog) HITs() int {
 // Responses returns a copy of the assignment log in commit order,
 // ready for DawidSkene (tasks are HIT indices, classes are {no, yes}).
 func (l *ResponseLog) Responses() []Response {
+	return l.ResponsesSince(0)
+}
+
+// Len returns the number of logged responses (individual worker
+// assignments; one HIT contributes one response per assigned worker).
+func (l *ResponseLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Response, len(l.responses))
-	copy(out, l.responses)
+	return len(l.responses)
+}
+
+// ResponsesSince returns a copy of the responses appended at index n
+// and later, in commit order — the delta an incremental consumer (see
+// IncrementalDS.SyncLog) has not seen yet. Out-of-range n is clamped,
+// so polling a live log with the previous Len() is always safe.
+func (l *ResponseLog) ResponsesSince(n int) []Response {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(l.responses) {
+		return nil
+	}
+	out := make([]Response, len(l.responses)-n)
+	copy(out, l.responses[n:])
 	return out
 }

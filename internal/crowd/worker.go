@@ -45,6 +45,12 @@ func (w *Worker) perceiveLabels(r *imagegen.Renderer, g imagegen.Glyph) []int {
 	return r.Perceive(g, w.PerceptNoise, w.rng)
 }
 
+// perceiveLabelsInto is perceiveLabels writing into dst — identical
+// RNG draws, no allocation once dst has capacity.
+func (w *Worker) perceiveLabelsInto(r *imagegen.Renderer, g imagegen.Glyph, dst []int) []int {
+	return r.PerceiveInto(g, w.PerceptNoise, w.rng, dst)
+}
+
 // slip reports whether the worker slips on this answer.
 func (w *Worker) slip() bool { return w.rng.Float64() < w.SlipRate }
 

@@ -66,6 +66,7 @@ var channelLimits = []int{maxShapes, maxShades, maxMarkers, maxBorders}
 type Renderer struct {
 	schema    *pattern.Schema
 	templates []Glyph // clean glyph per subgroup index
+	labels    [][]int // label vector per subgroup index, for decoding
 }
 
 // NewRenderer validates that the schema fits the available visual
@@ -84,8 +85,10 @@ func NewRenderer(s *pattern.Schema) (*Renderer, error) {
 	r := &Renderer{schema: s}
 	m := s.NumSubgroups()
 	r.templates = make([]Glyph, m)
+	r.labels = make([][]int, m)
 	for idx := 0; idx < m; idx++ {
-		r.templates[idx] = r.clean(pattern.SubgroupAt(s, idx))
+		r.labels[idx] = []int(pattern.SubgroupAt(s, idx))
+		r.templates[idx] = r.clean(r.labels[idx])
 	}
 	return r, nil
 }
@@ -134,26 +137,47 @@ func (r *Renderer) Render(labels []int, noise float64, rng *rand.Rand) (Glyph, e
 // used here, decoding is exact up to substantial noise, mirroring the
 // paper's observation that these tasks are "easy" for humans.
 func (r *Renderer) Decode(g Glyph) []int {
+	return r.DecodeInto(&g, nil)
+}
+
+// DecodeInto is Decode writing into dst (appended from dst[:0], grown
+// as needed) so a hot loop can decode without allocating. It reads the
+// glyph but never retains it, and the returned slice aliases only dst.
+func (r *Renderer) DecodeInto(g *Glyph, dst []int) []int {
+	return append(dst[:0], r.labels[r.nearest(g)]...)
+}
+
+// nearest returns the subgroup index whose clean template is closest
+// to the glyph in L2 distance.
+func (r *Renderer) nearest(g *Glyph) int {
 	best, bestDist := 0, math.MaxFloat64
 	for idx := range r.templates {
-		d := distance(&g, &r.templates[idx])
+		d := distance(g, &r.templates[idx])
 		if d < bestDist {
 			best, bestDist = idx, d
 		}
 	}
-	return []int(pattern.SubgroupAt(r.schema, best))
+	return best
 }
 
 // Perceive simulates looking at the glyph through perceptual noise of
 // the given standard deviation and decoding what is seen. It is the
 // primitive crowd workers use.
 func (r *Renderer) Perceive(g Glyph, noise float64, rng *rand.Rand) []int {
+	return r.PerceiveInto(g, noise, rng, nil)
+}
+
+// PerceiveInto is Perceive writing into dst (see DecodeInto). The RNG
+// draws — one NormFloat64 per pixel when noise is positive — are
+// identical to Perceive's, so swapping one for the other never changes
+// a transcript.
+func (r *Renderer) PerceiveInto(g Glyph, noise float64, rng *rand.Rand, dst []int) []int {
 	if noise > 0 && rng != nil {
 		for i := range g {
 			g[i] = clamp8(float64(g[i]) + rng.NormFloat64()*noise)
 		}
 	}
-	return r.Decode(g)
+	return r.DecodeInto(&g, dst)
 }
 
 func distance(a, b *Glyph) float64 {

@@ -31,6 +31,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from the seque
 var goldenExcluded = map[string]string{
 	"lockstep-latency": "renders wall-clock; covered by the benchmark history gate instead",
 	"journal-overhead": "renders wall-clock; covered by the benchmark history gate instead",
+	"audit-throughput": "renders wall-clock and allocation counts; covered by the benchmark history gate instead",
 }
 
 // canonicalArtifact renders an experiment result without its

@@ -253,6 +253,13 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "audit-throughput", Paper: "extension",
+			Description: "CPU-bound HITs/sec and allocs/HIT of Multiple/Classifier audits over the zero-delay crowd platform (lockstep engine)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunAuditThroughput(DefaultThroughputParams(), o)
+			},
+		},
+		{
 			ID: "journal-overhead", Paper: "extension",
 			Description: "checkpoint cost of the fsynced round journal vs the bare lockstep stack (per-HIT round-trip delay)",
 			Run: func(o Options) (fmt.Stringer, error) {

@@ -213,6 +213,7 @@ type Auditor struct {
 	cache       *core.CachingOracle
 	budget      *core.BudgetedOracle
 	journaled   *core.JournalingOracle
+	trust       *core.TrustOracle
 	ctx         context.Context
 }
 
@@ -329,6 +330,53 @@ func (a *Auditor) WithJournal(j RoundJournal, replay []RoundRecord) *Auditor {
 		a.lockstep = true
 	}
 	return a
+}
+
+// WithTrust interposes the adversarial-robustness middleware between
+// the auditor and the oracle stack built so far: gold-standard probe
+// HITs (TrustConfig.Probes, cycled on the policy's deterministic
+// schedule) are appended to committed set rounds, every worker's raw
+// answers from TrustConfig.Feed are scored by a sequential likelihood
+// ratio against the gold answers and the round consensus, and workers
+// the policy distrusts are pushed to TrustConfig.Screen — excluded
+// from future assignment draws at round boundaries only. For the
+// simulated crowd, wire Feed and Screen from
+// SimulatedCrowd.AnswerFeed and SimulatedCrowd.Screener.
+//
+// WithTrust implies WithLockstep: the probe schedule rides the
+// committed round sequence, which only the lockstep scheduler makes a
+// pure function of committed answers — and with it, trust scores and
+// screening decisions are byte-identical at every WithParallelism
+// value. Call it after WithJournal so the journal records (and
+// replays) the probe-augmented rounds: a resumed audit re-issues the
+// identical probes and re-reads the surviving feed, restoring every
+// trust score exactly. The feed is process-local, not journaled — an
+// in-process resume (same platform, surviving ResponseLog) restores
+// scores byte-identically, while a fresh process replays verdicts and
+// the probe schedule exactly but starts trust evidence empty. Like
+// the other stack builders, the first call wins. It returns an error
+// for an invalid policy or probe battery.
+func (a *Auditor) WithTrust(cfg TrustConfig) (*Auditor, error) {
+	if a.trust == nil {
+		t, err := core.NewTrustOracle(a.oracle, cfg)
+		if err != nil {
+			return a, err
+		}
+		a.trust = t
+		a.oracle = t
+		a.lockstep = true
+	}
+	return a, nil
+}
+
+// TrustStats returns the trust middleware's report — per-worker
+// scores, probes issued, workers excluded; ok is false when WithTrust
+// was never enabled.
+func (a *Auditor) TrustStats() (report TrustReport, ok bool) {
+	if a.trust == nil {
+		return TrustReport{}, false
+	}
+	return a.trust.Report(), true
 }
 
 // WithContext threads ctx through every audit of this auditor:
@@ -463,6 +511,16 @@ type CrowdOptions struct {
 	// input the Dawid–Skene estimators (DawidSkene, IncrementalDS)
 	// consume for post-hoc truth inference.
 	RecordResponses bool
+	// AdversaryStrategy plants adversarial workers: the named
+	// WorkerStrategy ("lazy-yes", "random-spam", "colluding-liar")
+	// overrides the final answers of an AdversaryRate fraction of the
+	// pool, assigned as a deterministic RNG-free stripe. Honest
+	// workers' answers are byte-identical to an adversary-free
+	// deployment. Empty (or "honest") disables the overlay.
+	AdversaryStrategy string
+	// AdversaryRate is the adversarial fraction of the pool in [0, 1];
+	// ignored when AdversaryStrategy is empty.
+	AdversaryRate float64
 }
 
 // NewSimulatedCrowd builds a simulated crowd over the dataset.
@@ -485,6 +543,13 @@ func NewSimulatedCrowd(ds *Dataset, seed int64, opts CrowdOptions) (*SimulatedCr
 		log = &crowd.ResponseLog{}
 		cfg.Responses = log
 	}
+	if opts.AdversaryStrategy != "" && opts.AdversaryStrategy != "honest" {
+		strat, err := crowd.StrategyByName(opts.AdversaryStrategy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Adversary = crowd.AdversaryConfig{Rate: opts.AdversaryRate, Strategy: strat}
+	}
 	p, err := crowd.NewPlatform(ds, cfg)
 	if err != nil {
 		return nil, err
@@ -497,6 +562,25 @@ func NewSimulatedCrowd(ds *Dataset, seed int64, opts CrowdOptions) (*SimulatedCr
 // HIT in commit order, ready for DawidSkene or IncrementalDS.SyncLog.
 func (c *SimulatedCrowd) Responses() *ResponseLog {
 	return c.log
+}
+
+// AnswerFeed exposes the deployment's raw answer stream for the trust
+// middleware (Auditor.WithTrust / TrustConfig.Feed). It is nil unless
+// the crowd was built with RecordResponses — trust scoring needs the
+// per-worker answers the log records.
+func (c *SimulatedCrowd) AnswerFeed() AnswerFeed {
+	if c.log == nil {
+		return nil
+	}
+	return c.log
+}
+
+// Screener exposes the platform's worker-exclusion hook for the trust
+// middleware (TrustConfig.Screen): distrusted workers are dropped from
+// future assignment draws at round boundaries, with at least one
+// eligible worker always retained.
+func (c *SimulatedCrowd) Screener() WorkerScreener {
+	return c.platform
 }
 
 // SetQuery implements Oracle.

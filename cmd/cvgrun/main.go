@@ -15,6 +15,7 @@
 //	cvgrun -data faces.json -mode group -group "1" -crowd -lockstep -max-spend 25.00
 //	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl
 //	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl -resume
+//	cvgrun -data faces.json -mode group -group "1" -crowd -adversary-strategy colluding-liar -adversary-rate 0.3 -trust
 package main
 
 import (
@@ -52,6 +53,10 @@ func run(args []string, out, errOut io.Writer) int {
 		maxSpend  = fs.Float64("max-spend", 0, "cap the committed crowd spend; with -crowd priced by the deployment's cost model (assignments x price + fee), otherwise one unit per HIT (0 = unlimited)")
 		journalAt = fs.String("journal", "", "checkpoint every committed oracle round to this crash-safe journal file (implies -lockstep)")
 		resume    = fs.Bool("resume", false, "resume from the journal's committed rounds instead of starting fresh (requires -journal); replayed rounds touch neither the crowd nor the budget")
+		advStrat  = fs.String("adversary-strategy", "", "plant adversarial workers in the simulated crowd: lazy-yes, random-spam or colluding-liar (requires -crowd; honest workers stay byte-identical)")
+		advRate   = fs.Float64("adversary-rate", 0.25, "adversarial fraction of the worker pool in [0,1] (with -adversary-strategy)")
+		trust     = fs.Bool("trust", false, "screen adversarial workers with the gold-probe trust middleware (requires -crowd; implies -lockstep; with -resume, replayed verdicts and the probe schedule restore exactly but trust evidence restarts — the raw answer feed is process-local, not journaled)")
+		probeN    = fs.Int("trust-probes", 8, "size of the deterministic gold-probe battery the trust middleware cycles (with -trust)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,10 +72,19 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	fmt.Fprintf(out, "dataset: %d objects over schema %s\n", ds.Size(), ds.Schema())
 
+	if (*advStrat != "" || *trust) && !*useCrowd {
+		fmt.Fprintln(errOut, "cvgrun: -adversary-strategy and -trust require -crowd")
+		return 2
+	}
 	var oracle imagecvg.Oracle
 	var crowdOracle *imagecvg.SimulatedCrowd
 	if *useCrowd {
-		crowdOracle, err = imagecvg.NewSimulatedCrowd(ds, *seed, imagecvg.CrowdOptions{})
+		crowdOracle, err = imagecvg.NewSimulatedCrowd(ds, *seed, imagecvg.CrowdOptions{
+			AdversaryStrategy: *advStrat,
+			AdversaryRate:     *advRate,
+			// Trust scoring reads the raw per-worker answer stream.
+			RecordResponses: *trust,
+		})
 		if err != nil {
 			fmt.Fprintln(errOut, "cvgrun:", err)
 			return 1
@@ -119,6 +133,21 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(out, "journal: resuming %d committed rounds from %s\n", len(replay), *journalAt)
 		} else {
 			fmt.Fprintf(out, "journal: checkpointing to %s\n", *journalAt)
+		}
+	}
+	if *trust {
+		// Trust wraps above the journal (probe-augmented rounds are
+		// journaled, so a resumed audit restores every trust score) and
+		// below the cache.
+		probes := imagecvg.GoldProbes(ds, imagecvg.GroupsForAttribute(ds.Schema(), 0), *probeN, *seed+99)
+		auditor, err = auditor.WithTrust(imagecvg.TrustConfig{
+			Probes: probes,
+			Feed:   crowdOracle.AnswerFeed(),
+			Screen: crowdOracle.Screener(),
+		})
+		if err != nil {
+			fmt.Fprintln(errOut, "cvgrun:", err)
+			return 1
 		}
 	}
 	if *cache {
@@ -261,6 +290,16 @@ func run(args []string, out, errOut io.Writer) int {
 	if replayed, rounds, ok := auditor.JournalStats(); ok {
 		fmt.Fprintf(out, "journal: %d rounds committed (%d replayed, %d live)\n",
 			rounds, replayed, rounds-replayed)
+	}
+	if report, ok := auditor.TrustStats(); ok {
+		fmt.Fprintf(out, "trust: %d gold probes issued, %d of %d workers excluded\n",
+			report.ProbesIssued, report.Excluded, len(report.Workers))
+		for _, w := range report.Workers {
+			if w.Excluded {
+				fmt.Fprintf(out, "  worker %d excluded: score %.2f (probes %d/%d failed, contradictions %d/%d)\n",
+					w.Worker, w.Score, w.ProbeFails, w.Probes, w.Contradictions, w.Answers)
+			}
+		}
 	}
 	return 0
 }

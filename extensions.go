@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"imagecvg/internal/core"
+	"imagecvg/internal/crowd"
 	"imagecvg/internal/journal"
 	"imagecvg/internal/pattern"
 	"imagecvg/internal/repair"
@@ -48,6 +49,30 @@ type (
 	RoundRecord = core.RoundRecord
 	// FileJournal is the crash-safe file-backed RoundJournal.
 	FileJournal = journal.Journal
+
+	// TrustPolicy tunes the trust middleware's sequential likelihood
+	// test (probe schedule, hypothesis error rates, distrust boundary).
+	TrustPolicy = core.TrustPolicy
+	// TrustConfig assembles the trust middleware: policy, gold probes,
+	// answer feed and worker screener; see Auditor.WithTrust.
+	TrustConfig = core.TrustConfig
+	// GoldProbe is one gold-standard probe HIT with a known answer.
+	GoldProbe = core.GoldProbe
+	// TrustReport snapshots per-worker trust scores and exclusions.
+	TrustReport = core.TrustReport
+	// TrustScore is one worker's evidence tally and verdict.
+	TrustScore = core.TrustScore
+	// WorkerAnswer is one raw worker answer as an AnswerFeed serves it.
+	WorkerAnswer = core.WorkerAnswer
+	// AnswerFeed serves delta reads of a platform's raw answer stream;
+	// SimulatedCrowd.AnswerFeed returns one.
+	AnswerFeed = core.AnswerFeed
+	// WorkerScreener applies trust exclusions to a platform;
+	// SimulatedCrowd.Screener returns one.
+	WorkerScreener = core.WorkerScreener
+	// WorkerStrategy overrides a simulated worker's answers (adversarial
+	// crowd modeling); see CrowdOptions.AdversaryStrategy.
+	WorkerStrategy = crowd.WorkerStrategy
 )
 
 // Re-exported transcript and engine constructors.
@@ -81,6 +106,20 @@ var (
 	// ErrJournalCorrupt marks journal damage beyond a recoverable torn
 	// tail.
 	ErrJournalCorrupt = journal.ErrCorrupt
+
+	// DefaultTrustPolicy is the trust middleware's default sequential
+	// likelihood test.
+	DefaultTrustPolicy = core.DefaultTrustPolicy
+	// GoldProbes derives a deterministic gold-probe battery from ground
+	// truth.
+	GoldProbes = core.GoldProbes
+	// NewTrustOracle wraps any oracle with the trust middleware
+	// directly; most callers use Auditor.WithTrust instead.
+	NewTrustOracle = core.NewTrustOracle
+	// WorkerStrategyByName resolves an adversarial worker strategy
+	// ("lazy-yes", "random-spam", "colluding-liar"; "" or "honest" is
+	// nil).
+	WorkerStrategyByName = crowd.StrategyByName
 )
 
 // NewRepairPlan computes the acquisitions that bring every pattern of

@@ -80,6 +80,8 @@ func AsBatchOracle(o Oracle, parallelism int) BatchOracle {
 		return v.withBatchParallelism(parallelism)
 	case *JournalingOracle:
 		return v.withBatchParallelism(parallelism)
+	case *TrustOracle:
+		return v.withBatchParallelism(parallelism)
 	}
 	if bo, ok := o.(BatchOracle); ok {
 		return bo

@@ -140,6 +140,49 @@
 // (and was journaled) or never touched the crowd, which is what makes
 // kill-at-round-K exactly resumable.
 //
+// # Trust and adversarial workers
+//
+// The trust middleware (trust.go) defends an audit against workers who
+// answer strategically rather than noisily — the crowd simulator's
+// WorkerStrategy overlays (lazy-yes, random-spam, colluding-liar) model
+// exactly that. A TrustOracle wraps the stack above the journal (full
+// order: cache -> trust -> journal -> governor -> platform) and does
+// three things at round boundaries only:
+//
+//   - it appends one gold-standard probe HIT (a singleton set query
+//     whose true answer is known from ground truth, built by
+//     GoldProbes) to every ProbeEvery-th committed set round, cycling a
+//     fixed battery on a schedule that is a pure function of the
+//     committed set-round count — never of the pool width or the feed;
+//   - it consumes the AnswerFeed's delta after each committed round and
+//     scores every worker's raw answers with a sequential likelihood
+//     ratio (SPRT): probe answers score against the gold truth,
+//     ordinary answers against the round's aggregated consensus,
+//     discounted by ContradictionWeight because the consensus itself
+//     corrupts under heavy collusion — gold probes are the only
+//     evidence that cannot;
+//   - it pushes workers whose score crosses DistrustBelow (a one-way
+//     ratchet, after MinObservations) to the WorkerScreener, which
+//     drops them from future assignment draws while always retaining at
+//     least one eligible worker.
+//
+// The middleware inherits every determinism guarantee it sits on:
+// under Lockstep the probe schedule, trust scores and screening
+// decisions are byte-identical at every Parallelism (the
+// robustness-frontier golden and the adversarial conformance matrix at
+// P in {1, 2, 4, 16} pin this), and because trust sits above the
+// journal, probe-augmented rounds are journaled — a resumed audit
+// re-issues the identical probes, re-reads the surviving feed, and
+// restores every trust score exactly (the feed is process-local and
+// not journaled, so exact score restoration holds for in-process
+// resume; a fresh process replays verdicts and the probe schedule
+// exactly but accumulates trust evidence only from live rounds). A
+// budget governor below may deny
+// the appended probe alone; the middleware swallows that denial when
+// every caller request was answered, so probing degrades before the
+// audit does. Feed starvation (no recorded answers) degrades scoring,
+// never determinism.
+//
 // # Performance
 //
 // The audit inner loop — park a query, commit a round, draw workers,

@@ -249,6 +249,132 @@ func TestKillResumeConformance(t *testing.T) {
 	}
 }
 
+// runTrustJournalCell executes one Multiple-Coverage audit over an
+// existing platform through the adversarial stack — trust -> journal
+// -> platform — and serializes the observable state INCLUDING the
+// trust report. The trust middleware sits above the journal, so the
+// journal records (and replays) the probe-augmented rounds; a fresh
+// TrustOracle on resume re-issues the identical probes from its
+// deterministic schedule and re-reads the surviving platform's
+// response log from cursor zero, restoring every trust score exactly.
+func runTrustJournalCell(t *testing.T, ai adversarialInstance, parallelism int,
+	d *dataset.Dataset, p *Platform, log *ResponseLog,
+	jnl core.RoundJournal, replay []core.RoundRecord, ctx context.Context) (string, *core.JournalingOracle, error) {
+	t.Helper()
+
+	jo := core.NewJournalingOracle(p, jnl, replay, nil).SetContext(ctx)
+	tr, err := core.NewTrustOracle(jo, core.TrustConfig{
+		Probes: trustProbesFor(d, ai),
+		Feed:   log,
+		Screen: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups := pattern.GroupsForAttribute(ai.schema, 0)
+	res, err := core.MultipleCoverage(tr, d.IDs(), ai.setSize, ai.tau, groups, core.MultipleOptions{
+		Rng:         rand.New(rand.NewSource(ai.auditSeed)),
+		Parallelism: parallelism,
+		Lockstep:    true,
+		Ctx:         ctx,
+	})
+	if err != nil {
+		return "", jo, err
+	}
+	audit := fmt.Sprintf("%+v|%+v|%d|%d|%d", res.Results, res.SuperAudits,
+		res.SampleTasks, res.AuditTasks, res.Tasks)
+	ds := "no-hits"
+	if log.HITs() > 0 {
+		dres, derr := DawidSkene(log.HITs(), p.PoolSize(), 2, log.Responses(), 25)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		ds = fmt.Sprintf("%v|%.9v|%d", dres.Truth, dres.WorkerAccuracy, dres.Iterations)
+	}
+	state := fmt.Sprintf("audit=%s\nspend=%s\neligible=%d\nhits=%d\ndawid-skene=%s\ntrust=%+v",
+		audit, p.Ledger().Snapshot().String(), p.EligibleWorkers(), log.HITs(), ds, tr.Report())
+	return state, jo, nil
+}
+
+// TestKillResumeTrustConformance is the adversarial cell of the
+// kill/resume matrix: an audit over a pool with a colluding-liar
+// stripe, screened by an active TrustOracle, killed after half its
+// committed rounds and resumed from the journal at P in {1, 2, 4, 16}.
+// The resumed run must restore the trust scores and the exclusion set
+// and finish byte-identical to the uninterrupted run — verdicts,
+// spend, eligible pool, transcript, truth inference and trust report.
+func TestKillResumeTrustConformance(t *testing.T) {
+	instances := 3
+	pars := []int{1, 2, 4, 16}
+	if testing.Short() {
+		instances = 1
+		pars = []int{1, 4}
+	}
+	rng := rand.New(rand.NewSource(20260))
+	for i := 0; i < instances; i++ {
+		ai := generateAdversarialInstance(rng, "multiple")
+		ai.strategy = "colluding-liar"
+		ai.trust = true
+		t.Run(fmt.Sprintf("%02d-r%v", i, ai.rate), func(t *testing.T) {
+			freshCell := func() (*dataset.Dataset, *Platform, *ResponseLog) {
+				d := dataset.MustFromCounts(ai.schema, ai.counts,
+					rand.New(rand.NewSource(ai.platformSeed+1)))
+				log := &ResponseLog{}
+				return d, adversarialPlatformFor(t, ai, d, log), log
+			}
+
+			d, pA, logA := freshCell()
+			baseJnl := &memoryJournal{}
+			base, _, err := runTrustJournalCell(t, ai, 1, d, pA, logA, baseJnl, nil,
+				context.Background())
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			rounds := len(baseJnl.recs)
+			if rounds < 2 {
+				t.Fatalf("degenerate instance: only %d committed rounds", rounds)
+			}
+			kill := rounds / 2
+
+			for _, par := range pars {
+				par := par
+				t.Run(fmt.Sprintf("P=%d", par), func(t *testing.T) {
+					dB, pB, logB := freshCell()
+					ctx, cancel := context.WithCancel(context.Background())
+					defer cancel()
+					jnl := &memoryJournal{}
+					killer := &cancelAfterJournal{inner: jnl, after: kill, cancel: cancel}
+					_, _, err := runTrustJournalCell(t, ai, par, dB, pB, logB, killer, nil, ctx)
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("killed run: err = %v, want context.Canceled", err)
+					}
+					if len(jnl.recs) != kill {
+						t.Fatalf("killed run journaled %d rounds, want exactly %d", len(jnl.recs), kill)
+					}
+
+					replay := append([]core.RoundRecord(nil), jnl.recs...)
+					resumed, jo, err := runTrustJournalCell(t, ai, par, dB, pB, logB, jnl, replay,
+						context.Background())
+					if err != nil {
+						t.Fatalf("resumed run: %v", err)
+					}
+					if got := jo.Replayed(); got != kill {
+						t.Fatalf("resumed run replayed %d rounds, want %d", got, kill)
+					}
+					if resumed != base {
+						t.Fatalf("resumed state diverged from uninterrupted run:\n--- resumed (P=%d, killed at %d/%d) ---\n%s\n--- uninterrupted ---\n%s",
+							par, kill, rounds, resumed, base)
+					}
+					if !reflect.DeepEqual(jnl.recs, baseJnl.recs) {
+						t.Fatal("journal record sequences diverged from the uninterrupted run")
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestKillResumeMatrixCoversOutcomes guards the matrix generator: the
 // drawn instances must include every audit kind and both budget
 // configurations, and at least one budgeted baseline must actually

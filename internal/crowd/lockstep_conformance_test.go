@@ -90,12 +90,9 @@ func generateInstance(rng *rand.Rand, kind string) conformanceInstance {
 	return inst
 }
 
-// platformFor builds a fresh identically-configured platform for one
-// parallelism cell; the aggregator is rebuilt too, because
-// WeightedVote carries per-worker reliability state across HITs (the
-// very order-dependence lockstep must tame).
-func platformFor(t *testing.T, inst conformanceInstance, d *dataset.Dataset, log *ResponseLog) *Platform {
-	t.Helper()
+// conformanceConfig renders one instance's platform configuration; the
+// adversarial matrix reuses it and layers an AdversaryConfig on top.
+func conformanceConfig(inst conformanceInstance, log *ResponseLog) Config {
 	cfg := DefaultConfig(inst.platformSeed)
 	cfg.Assignments = inst.assignments
 	cfg.Profile = DefaultProfile(inst.poolSize)
@@ -117,7 +114,16 @@ func platformFor(t *testing.T, inst conformanceInstance, d *dataset.Dataset, log
 	case 3:
 		cfg.Pricing = BiddingPricing{Min: 0.04, Max: 0.14, Bidders: 12, Winners: inst.assignments}
 	}
-	p, err := NewPlatform(d, cfg)
+	return cfg
+}
+
+// platformFor builds a fresh identically-configured platform for one
+// parallelism cell; the aggregator is rebuilt too, because
+// WeightedVote carries per-worker reliability state across HITs (the
+// very order-dependence lockstep must tame).
+func platformFor(t *testing.T, inst conformanceInstance, d *dataset.Dataset, log *ResponseLog) *Platform {
+	t.Helper()
+	p, err := NewPlatform(d, conformanceConfig(inst, log))
 	if err != nil {
 		t.Fatal(err)
 	}

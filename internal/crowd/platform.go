@@ -38,6 +38,12 @@ type Config struct {
 	Rating *RatingFilter
 	// Profile configures the worker pool.
 	Profile PoolProfile
+	// Adversary seeds a fraction of the pool with an adversarial
+	// answer strategy (lazy, spamming, colluding); the zero value
+	// changes nothing. Assignment is a deterministic RNG-free stripe
+	// over worker IDs, so honest workers' random streams — and every
+	// golden artifact of an adversary-free build — stay byte-identical.
+	Adversary AdversaryConfig
 	// Responses, when non-nil, records every yes/no assignment in
 	// platform commit order — the sequencing hook for batch truth
 	// inference (DawidSkene) and for conformance tests that compare
@@ -86,7 +92,11 @@ type Platform struct {
 	cfg      Config
 	pool     []*Worker
 	eligible []*Worker
-	ledger   *Ledger
+	// baseEligible freezes the post-quality-control pool in
+	// construction order; SetExcludedWorkers rebuilds eligible from it,
+	// so screening decisions compose instead of compounding.
+	baseEligible []*Worker
+	ledger       *Ledger
 
 	mu  sync.Mutex // serializes HITs: rng, worker RNG state, ledger
 	rng *rand.Rand
@@ -128,11 +138,18 @@ func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Adversary.Rate < 0 || cfg.Adversary.Rate > 1 {
+		return nil, fmt.Errorf("crowd: adversary rate %v", cfg.Adversary.Rate)
+	}
+	if cfg.Adversary.Rate > 0 && cfg.Adversary.Strategy == nil {
+		return nil, fmt.Errorf("crowd: adversary rate %v without a strategy", cfg.Adversary.Rate)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pool, err := NewPool(cfg.Profile, rng)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Adversary.assignAdversaries(pool)
 	p := &Platform{
 		ds:       ds,
 		renderer: renderer,
@@ -160,7 +177,51 @@ func NewPlatform(ds *dataset.Dataset, cfg Config) (*Platform, error) {
 	if len(p.eligible) == 0 {
 		return nil, errors.New("crowd: no eligible workers after quality control")
 	}
+	p.baseEligible = p.eligible
 	return p, nil
+}
+
+// SetExcludedWorkers replaces the platform's trust-screening exclusion
+// set: the listed worker IDs no longer receive assignments, rebuilt
+// from the post-quality-control pool each call (exclusions never
+// compound across calls). The platform honors the longest prefix of
+// ids that keeps at least one eligible worker — a marketplace cannot
+// run with an empty pool — and returns how many workers ended up
+// excluded. Callers (the trust middleware) must invoke this only at
+// round boundaries: changing the pool mid-round would change worker
+// draws for HITs already sequenced, breaking the determinism contract.
+func (p *Platform) SetExcludedWorkers(ids []int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	banned := make(map[int]struct{}, len(ids))
+	kept := len(p.baseEligible)
+	for _, id := range ids {
+		if _, dup := banned[id]; dup {
+			continue
+		}
+		inBase := false
+		for _, w := range p.baseEligible {
+			if w.ID == id {
+				inBase = true
+				break
+			}
+		}
+		if inBase {
+			if kept == 1 {
+				break
+			}
+			kept--
+		}
+		banned[id] = struct{}{}
+	}
+	eligible := make([]*Worker, 0, kept)
+	for _, w := range p.baseEligible {
+		if _, ok := banned[w.ID]; !ok {
+			eligible = append(eligible, w)
+		}
+	}
+	p.eligible = eligible
+	return len(p.baseEligible) - len(eligible)
 }
 
 // WarmGlyphs renders every object's glyph up front. Rendering consumes
@@ -187,6 +248,12 @@ func (p *Platform) EligibleWorkers() int { return len(p.eligible) }
 
 // PoolSize returns the total worker pool size.
 func (p *Platform) PoolSize() int { return len(p.pool) }
+
+// Workers returns the full worker pool, screened workers included —
+// read-only introspection for trust tooling (e.g. checking which
+// excluded workers were actually adversarial). Callers must not
+// mutate the returned workers.
+func (p *Platform) Workers() []*Worker { return p.pool }
 
 // draw picks the redundancy set of workers for one HIT, without
 // replacement when the eligible pool allows it. The returned slice is
@@ -343,6 +410,12 @@ func (p *Platform) setQuery(ids []dataset.ObjectID, g pattern.Group, reverse boo
 		if w.slip() {
 			ans = !ans
 		}
+		// The honest path above ran to completion (identical RNG
+		// transcript); an adversarial strategy only overrides what the
+		// worker submits.
+		if w.strategy != nil {
+			ans = w.strategy.AnswerBool(w, ans)
+		}
 		answers[i] = ans
 	}
 	kind := SetQuery
@@ -381,6 +454,9 @@ func (p *Platform) pointQuery(id dataset.ObjectID) ([]int, error) {
 		answers[i] = w.perceiveLabelsInto(p.renderer, glyph, answers[i])
 		if w.slip() {
 			corruptOneAttrInPlace(answers[i], p.ds.Schema(), w.rng)
+		}
+		if w.strategy != nil {
+			w.strategy.AnswerLabels(w, p.ds.Schema(), answers[i])
 		}
 	}
 	p.ledger.Record(PointQuery, len(workers), p.cfg.Pricing.AssignmentPrice(PointQuery, 1))

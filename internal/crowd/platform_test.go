@@ -303,7 +303,8 @@ func TestCorruptOneAttrChangesExactlyOne(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 100; i++ {
 		in := []int{rng.Intn(3), rng.Intn(2)}
-		out := corruptOneAttr(in, s, rng)
+		out := append([]int(nil), in...)
+		corruptOneAttrInPlace(out, s, rng)
 		diff := 0
 		for j := range in {
 			if in[j] != out[j] {
@@ -311,7 +312,7 @@ func TestCorruptOneAttrChangesExactlyOne(t *testing.T) {
 			}
 		}
 		if diff != 1 {
-			t.Fatalf("corruptOneAttr changed %d attrs: %v -> %v", diff, in, out)
+			t.Fatalf("corruptOneAttrInPlace changed %d attrs: %v -> %v", diff, in, out)
 		}
 	}
 }

@@ -40,8 +40,14 @@ func (q *QualificationTest) Administer(w *Worker, r *imagegen.Renderer, rng *ran
 		}
 		got := w.perceiveLabels(r, g)
 		if w.slip() {
-			// A slip on the test corrupts one attribute.
-			got = corruptOneAttr(got, s, w.rng)
+			// A slip on the test corrupts one attribute; got is freshly
+			// allocated by perceiveLabels, so the in-place form is safe.
+			corruptOneAttrInPlace(got, s, w.rng)
+		}
+		// Adversarial strategies answer the qualification test too, so
+		// lazy or spamming workers can fail screening realistically.
+		if w.strategy != nil {
+			w.strategy.AnswerLabels(w, s, got)
 		}
 		if equalLabels(got, labels) {
 			correct++
@@ -68,17 +74,12 @@ func (f *RatingFilter) Eligible(w *Worker) bool {
 	return w.ApprovalPercent >= f.MinApprovalPercent && w.ApprovedHITs >= f.MinApprovedHITs
 }
 
-func corruptOneAttr(labels []int, s *pattern.Schema, rng *rand.Rand) []int {
-	out := make([]int, len(labels))
-	copy(out, labels)
-	corruptOneAttrInPlace(out, s, rng)
-	return out
-}
-
-// corruptOneAttrInPlace is corruptOneAttr without the defensive copy,
-// for hot paths that own the slice. RNG consumption is identical: one
-// Intn picking the attribute, one more only when its cardinality
-// admits a different value.
+// corruptOneAttrInPlace flips one attribute of a label vector to a
+// different valid value — the single copy of the slip-corruption
+// logic, shared by the point-query path and the qualification test
+// (both own their slices). RNG consumption is pinned by the regression
+// suite: one Intn picking the attribute, one more only when its
+// cardinality admits a different value.
 func corruptOneAttrInPlace(labels []int, s *pattern.Schema, rng *rand.Rand) {
 	attr := rng.Intn(len(labels))
 	c := s.Attr(attr).Cardinality()

@@ -1,0 +1,196 @@
+package crowd
+
+// Edge-case suite for the pre-task quality controls: qualification-test
+// and rating-filter validation, exact-threshold boundary semantics, the
+// determinism of Administer under a fixed seed, and the RNG draw-order
+// pin on the single shared copy of the slip-corruption logic.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"imagecvg/internal/imagegen"
+	"imagecvg/internal/pattern"
+)
+
+func qualitySchema(t *testing.T) *pattern.Schema {
+	t.Helper()
+	return pattern.MustSchema(
+		pattern.Attribute{Name: "a", Values: []string{"0", "1", "2"}},
+		pattern.Attribute{Name: "b", Values: []string{"0", "1"}},
+	)
+}
+
+func qualityRenderer(t *testing.T) *imagegen.Renderer {
+	t.Helper()
+	r, err := imagegen.NewRenderer(qualitySchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// perfectWorker never misperceives and never slips.
+func perfectWorker(seed int64) *Worker {
+	return &Worker{ID: 0, rng: rand.New(rand.NewSource(seed))}
+}
+
+// slippingWorker slips on every answer (SlipRate 1) but perceives
+// perfectly, so every test question has exactly one corrupted attribute.
+func slippingWorker(seed int64) *Worker {
+	return &Worker{ID: 1, SlipRate: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+func TestQualificationTestValidation(t *testing.T) {
+	r := qualityRenderer(t)
+	rng := rand.New(rand.NewSource(1))
+	bad := []*QualificationTest{
+		{Questions: 0, PassFraction: 0.8},
+		{Questions: -3, PassFraction: 0.8},
+		{Questions: 5, PassFraction: -0.1},
+		{Questions: 5, PassFraction: 1.01},
+	}
+	for _, q := range bad {
+		if _, err := q.Administer(perfectWorker(1), r, rng); err == nil {
+			t.Errorf("Administer(%+v): want validation error", q)
+		}
+	}
+	// Boundary configurations are valid: PassFraction 0 and 1 are in
+	// range.
+	for _, q := range []*QualificationTest{
+		{Questions: 1, PassFraction: 0},
+		{Questions: 1, PassFraction: 1},
+	} {
+		if _, err := q.Administer(perfectWorker(2), r, rng); err != nil {
+			t.Errorf("Administer(%+v): unexpected error %v", q, err)
+		}
+	}
+}
+
+// TestQualificationThresholdBoundary pins the >= semantics of the pass
+// rule: a perfect worker meets PassFraction 1.0 exactly (correct ==
+// Questions), and an always-slipping worker still meets PassFraction 0
+// exactly (correct 0 >= 0).
+func TestQualificationThresholdBoundary(t *testing.T) {
+	r := qualityRenderer(t)
+	q := &QualificationTest{Questions: 8, PassFraction: 1.0}
+	pass, err := q.Administer(perfectWorker(3), r, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Error("perfect worker must pass at PassFraction 1.0 (>= boundary)")
+	}
+
+	q = &QualificationTest{Questions: 8, PassFraction: 0}
+	pass, err = q.Administer(slippingWorker(4), r, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Error("always-slipping worker must pass at PassFraction 0 (0 >= 0)")
+	}
+
+	// A slip corrupts exactly one attribute to a different value, so an
+	// always-slipping worker answers every question wrong: any positive
+	// threshold fails them.
+	q = &QualificationTest{Questions: 8, PassFraction: 0.125}
+	pass, err = q.Administer(slippingWorker(5), r, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Error("always-slipping worker must fail any positive threshold")
+	}
+}
+
+// TestAdministerDeterministic pins reproducibility: identical worker
+// and test RNG seeds yield the identical outcome, because the test
+// draws only from the two streams it is handed.
+func TestAdministerDeterministic(t *testing.T) {
+	r := qualityRenderer(t)
+	q := DefaultQualification()
+	run := func() bool {
+		w := &Worker{ID: 0, SlipRate: 0.5, PerceptNoise: 20, rng: rand.New(rand.NewSource(77))}
+		pass, err := q.Administer(w, r, rand.New(rand.NewSource(78)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pass
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if run() != first {
+			t.Fatalf("rep %d: Administer with fixed seeds diverged", i)
+		}
+	}
+}
+
+func TestRatingFilterExactThresholds(t *testing.T) {
+	f := &RatingFilter{MinApprovalPercent: 95, MinApprovedHITs: 100}
+	cases := []struct {
+		percent float64
+		hits    int
+		want    bool
+	}{
+		{95, 100, true}, // both exactly at threshold: >= admits
+		{94.999, 100, false},
+		{95, 99, false},
+		{96, 101, true},
+		{0, 0, false},
+	}
+	for _, c := range cases {
+		w := &Worker{ApprovalPercent: c.percent, ApprovedHITs: c.hits}
+		if got := f.Eligible(w); got != c.want {
+			t.Errorf("Eligible(%.3f%%, %d HITs) = %v, want %v", c.percent, c.hits, got, c.want)
+		}
+	}
+	// The zero filter admits everyone: 0 >= 0 on both axes.
+	zero := &RatingFilter{}
+	if !zero.Eligible(&Worker{}) {
+		t.Error("zero filter must admit the zero worker (>= boundary)")
+	}
+}
+
+// TestCorruptOneAttrRNGDrawOrder is the regression pin for unifying the
+// two corruption helpers into corruptOneAttrInPlace: the function must
+// consume exactly one Intn(len) draw picking the attribute, plus one
+// Intn(c-1) draw only when that attribute's cardinality admits a
+// different value. A twin RNG replays the documented draw sequence by
+// hand; both the corrupted labels and the RNGs' next outputs must
+// match, so any change to the draw order breaks this test before it
+// breaks the conformance goldens.
+func TestCorruptOneAttrRNGDrawOrder(t *testing.T) {
+	s := qualitySchema(t)
+	rngA := rand.New(rand.NewSource(99))
+	rngB := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		labels := []int{rngA.Intn(3), rngA.Intn(2)}
+		rngB.Intn(3)
+		rngB.Intn(2)
+		want := append([]int(nil), labels...)
+
+		corruptOneAttrInPlace(labels, s, rngA)
+
+		// Twin replay of the pinned draw sequence: one draw picks the
+		// attribute, one more picks the replacement value (every valid
+		// schema attribute has cardinality >= 2).
+		attr := rngB.Intn(len(want))
+		c := s.Attr(attr).Cardinality()
+		if c >= 2 {
+			v := rngB.Intn(c - 1)
+			if v >= want[attr] {
+				v++
+			}
+			want[attr] = v
+		}
+
+		if !reflect.DeepEqual(labels, want) {
+			t.Fatalf("iter %d: corruption diverged from pinned draw order: got %v, want %v", i, labels, want)
+		}
+		if a, b := rngA.Int63(), rngB.Int63(); a != b {
+			t.Fatalf("iter %d: RNG streams diverged after corruption (%d vs %d): draw count changed", i, a, b)
+		}
+	}
+}

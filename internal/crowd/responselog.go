@@ -1,6 +1,10 @@
 package crowd
 
-import "sync"
+import (
+	"sync"
+
+	"imagecvg/internal/core"
+)
 
 // ResponseLog is the platform's sequencing hook: when installed via
 // Config.Responses it records every raw worker assignment of every
@@ -73,3 +77,31 @@ func (l *ResponseLog) ResponsesSince(n int) []Response {
 	copy(out, l.responses[n:])
 	return out
 }
+
+// AnswersSince implements core.AnswerFeed: the delta read a TrustOracle
+// consumes to score per-worker answers against gold probes and the
+// round consensus. Entries map one-to-one onto ResponsesSince (Task
+// becomes the HIT index), so the trust middleware's feed cursor and an
+// IncrementalDS log cursor count the same stream.
+func (l *ResponseLog) AnswersSince(n int) []core.WorkerAnswer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(l.responses) {
+		return nil
+	}
+	out := make([]core.WorkerAnswer, len(l.responses)-n)
+	for i, r := range l.responses[n:] {
+		out[i] = core.WorkerAnswer{HIT: r.Task, Worker: r.Worker, Value: r.Value}
+	}
+	return out
+}
+
+// The platform is the screening hook and the log the answer feed of
+// the core trust middleware.
+var (
+	_ core.AnswerFeed     = (*ResponseLog)(nil)
+	_ core.WorkerScreener = (*Platform)(nil)
+)

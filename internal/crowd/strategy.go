@@ -1,0 +1,141 @@
+package crowd
+
+import (
+	"fmt"
+
+	"imagecvg/internal/pattern"
+)
+
+// WorkerStrategy replaces the final answer of an adversarial worker.
+// The platform ALWAYS runs the honest perceive-and-slip path first —
+// consuming exactly the RNG draws an honest worker would — and only
+// then lets the strategy override the outcome. That ordering is the
+// frozen-RNG invariant that keeps every golden artifact byte-identical
+// when no adversaries are configured, and keeps honest workers'
+// transcripts untouched when some of the pool is adversarial: a
+// strategy may draw from the worker's OWN rng (shifting only that
+// worker's later perception stream) but never from the platform RNG
+// that sequences worker draws.
+//
+// Strategies apply everywhere a worker answers: yes/no set HITs, point
+// label HITs, and the pre-task qualification test — so a lazy or
+// spamming worker can realistically fail screening before accepting a
+// single HIT.
+type WorkerStrategy interface {
+	// Name identifies the strategy (the CLI / config spelling).
+	Name() string
+	// AnswerBool returns the worker's submitted yes/no answer given the
+	// answer the honest path produced.
+	AnswerBool(w *Worker, honest bool) bool
+	// AnswerLabels rewrites the honest label vector in place into the
+	// worker's submitted point-HIT answer.
+	AnswerLabels(w *Worker, s *pattern.Schema, labels []int)
+}
+
+// LazyYes is the minimal-effort worker: every yes/no HIT is answered
+// "yes" without looking, and every labeling HIT gets the first value of
+// every attribute. Constant answers make lazy workers highly visible to
+// gold probes with a "no" answer and to consensus contradiction checks.
+type LazyYes struct{}
+
+// Name implements WorkerStrategy.
+func (LazyYes) Name() string { return "lazy-yes" }
+
+// AnswerBool implements WorkerStrategy.
+func (LazyYes) AnswerBool(*Worker, bool) bool { return true }
+
+// AnswerLabels implements WorkerStrategy.
+func (LazyYes) AnswerLabels(_ *Worker, _ *pattern.Schema, labels []int) {
+	for i := range labels {
+		labels[i] = 0
+	}
+}
+
+// RandomSpam answers uniformly at random from the worker's own rng —
+// the classic spammer whose accuracy is indistinguishable from a coin
+// flip. The extra draws advance only the spammer's personal stream;
+// the platform RNG and every other worker's stream are untouched.
+type RandomSpam struct{}
+
+// Name implements WorkerStrategy.
+func (RandomSpam) Name() string { return "random-spam" }
+
+// AnswerBool implements WorkerStrategy.
+func (RandomSpam) AnswerBool(w *Worker, _ bool) bool { return w.rng.Intn(2) == 1 }
+
+// AnswerLabels implements WorkerStrategy.
+func (RandomSpam) AnswerLabels(w *Worker, s *pattern.Schema, labels []int) {
+	for i := range labels {
+		labels[i] = w.rng.Intn(s.Attr(i).Cardinality())
+	}
+}
+
+// ColludingLiar inverts the honest answer: yes/no HITs are negated and
+// each point label is rotated to the next value of its attribute.
+// Because the lie is a pure function of the honest perception —
+// no shared state, no extra RNG — colluders who perceive the same
+// glyph the same way submit the same lie, defeating redundancy-based
+// aggregation the way a coordinated crowd would.
+type ColludingLiar struct{}
+
+// Name implements WorkerStrategy.
+func (ColludingLiar) Name() string { return "colluding-liar" }
+
+// AnswerBool implements WorkerStrategy.
+func (ColludingLiar) AnswerBool(_ *Worker, honest bool) bool { return !honest }
+
+// AnswerLabels implements WorkerStrategy.
+func (ColludingLiar) AnswerLabels(_ *Worker, s *pattern.Schema, labels []int) {
+	for i := range labels {
+		if c := s.Attr(i).Cardinality(); c >= 2 {
+			labels[i] = (labels[i] + 1) % c
+		}
+	}
+}
+
+// StrategyByName resolves the CLI/config spelling of a strategy.
+// "honest" (and "") resolve to nil — the honest answer path.
+func StrategyByName(name string) (WorkerStrategy, error) {
+	switch name {
+	case "", "honest":
+		return nil, nil
+	case LazyYes{}.Name():
+		return LazyYes{}, nil
+	case RandomSpam{}.Name():
+		return RandomSpam{}, nil
+	case ColludingLiar{}.Name():
+		return ColludingLiar{}, nil
+	}
+	return nil, fmt.Errorf("crowd: unknown worker strategy %q (want honest, %s, %s or %s)",
+		name, LazyYes{}.Name(), RandomSpam{}.Name(), ColludingLiar{}.Name())
+}
+
+// AdversaryConfig seeds a fraction of the worker pool with an
+// adversarial strategy. The zero value configures no adversaries and
+// changes nothing — transcripts, goldens and eligibility are
+// byte-identical to a build without the field.
+type AdversaryConfig struct {
+	// Rate in [0, 1] is the fraction of the pool assigned the Strategy.
+	// Assignment is a deterministic stripe over worker IDs (worker i is
+	// adversarial iff floor((i+1)*Rate) > floor(i*Rate)), consuming no
+	// RNG, so configuring adversaries never shifts the honest pool's
+	// random streams.
+	Rate float64
+	// Strategy is the adversarial answer policy; nil means every worker
+	// answers honestly regardless of Rate... except that a non-zero
+	// Rate without a Strategy is rejected as a misconfiguration.
+	Strategy WorkerStrategy
+}
+
+// assignAdversaries stripes the strategy across the pool; see
+// AdversaryConfig.Rate for the deterministic, draw-free rule.
+func (a AdversaryConfig) assignAdversaries(pool []*Worker) {
+	if a.Strategy == nil || a.Rate <= 0 {
+		return
+	}
+	for i, w := range pool {
+		if int(float64(i+1)*a.Rate) > int(float64(i)*a.Rate) {
+			w.strategy = a.Strategy
+		}
+	}
+}

@@ -37,6 +37,19 @@ type Worker struct {
 	ApprovedHITs    int
 
 	rng *rand.Rand
+	// strategy, when non-nil, overrides the worker's final answers
+	// AFTER the honest perceive-and-slip path has consumed its RNG
+	// draws; see WorkerStrategy for the invariant this preserves.
+	strategy WorkerStrategy
+}
+
+// Adversarial reports whether the worker answers through an
+// adversarial strategy, and its name ("" when honest).
+func (w *Worker) Adversarial() (string, bool) {
+	if w.strategy == nil {
+		return "", false
+	}
+	return w.strategy.Name(), true
 }
 
 // perceiveMatch reports whether the worker, looking at the glyph,

@@ -56,19 +56,23 @@ func canonicalArtifact(res fmt.Stringer) string {
 }
 
 // TestGoldenClassifierEngineParallelismInvariant pins artifacts along
-// the ENGINE-parallelism axis: table2, the classifier-strategy harness
-// and the budget-frontier curve must render the sequential golden
-// byte-for-byte when the audit engines run their rounds at width 1 and
-// at width 16 under lockstep. For budget-frontier this is the
-// acceptance property of budget governance itself: the exhaustion
-// point — and with it every partial verdict in the curve — must not
-// move with the pool width. (The main golden test varies trial
-// parallelism; this one varies the pool inside each audit.)
+// the ENGINE-parallelism axis: table2, the classifier-strategy harness,
+// the budget-frontier curve and the robustness-frontier grid must
+// render the sequential golden byte-for-byte when the audit engines run
+// their rounds at width 1 and at width 16 under lockstep. For
+// budget-frontier this is the acceptance property of budget governance
+// itself: the exhaustion point — and with it every partial verdict in
+// the curve — must not move with the pool width. For
+// robustness-frontier it is the acceptance property of the trust
+// middleware: the gold-probe schedule, the trust scores and the
+// screening decisions must not move with the pool width either. (The
+// main golden test varies trial parallelism; this one varies the pool
+// inside each audit.)
 func TestGoldenClassifierEngineParallelismInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-harness golden comparison skipped in -short")
 	}
-	for _, id := range []string{"table2", "classifier-strategy", "budget-frontier"} {
+	for _, id := range []string{"table2", "classifier-strategy", "budget-frontier", "robustness-frontier"} {
 		e, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("unknown experiment %q", id)

@@ -232,6 +232,13 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "robustness-frontier", Paper: "extension",
+			Description: "verdict accuracy vs adversary rate x worker strategy x trust screening (lockstep engine, gold-probe trust middleware)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunRobustnessFrontier(DefaultRobustnessFrontierParams(), o)
+			},
+		},
+		{
 			ID: "classifier-strategy", Paper: "extension",
 			Description: "Classifier-Coverage Partition/Label switchover across classifier false-positive rates (batched round engine)",
 			Run: func(o Options) (fmt.Stringer, error) {

@@ -11,6 +11,7 @@ import (
 	"imagecvg/internal/dataset"
 	"imagecvg/internal/experiment"
 	"imagecvg/internal/pattern"
+	"imagecvg/internal/server"
 	"imagecvg/internal/stats"
 )
 
@@ -81,7 +82,64 @@ type (
 
 	// Summary describes repeated observations (mean, stddev, 95% CI).
 	Summary = stats.Summary
+
+	// AuditService is the multi-tenant audit job engine behind cvgrun
+	// -serve: persistent jobs with per-job crash-safe journals, a
+	// bounded worker pool, tenant budget admission, and an HTTP API
+	// (Handler) with SSE progress streams. See NewAuditService.
+	AuditService = server.Engine
+	// AuditServiceOptions configures an AuditService (data directory,
+	// worker-pool width, per-tenant budget caps).
+	AuditServiceOptions = server.Options
+	// AuditJobConfig is one submitted audit job: mode, dataset spec,
+	// audit parameters, oracle choice and budget caps.
+	AuditJobConfig = server.JobConfig
+	// AuditJobStatus is a job's point-in-time snapshot: state, round
+	// progress, committed spend and (when finished) the result.
+	AuditJobStatus = server.JobStatus
+	// AuditJobResult is a finished job's serialized verdicts, task
+	// tallies and ledger spend — byte-identical to the same
+	// configuration run one-shot through Auditor.
+	AuditJobResult = server.JobResult
+	// AuditJobState is the job lifecycle enum.
+	AuditJobState = server.JobState
+	// AuditDatasetSpec names a job's dataset: a JSON file or a
+	// generated binary-gender dataset.
+	AuditDatasetSpec = server.DatasetSpec
 )
+
+// Audit-service job states (queued → running → done/failed/cancelled;
+// interrupted jobs return to queued and resume on restart).
+const (
+	JobQueued    = server.StateQueued
+	JobRunning   = server.StateRunning
+	JobDone      = server.StateDone
+	JobFailed    = server.StateFailed
+	JobCancelled = server.StateCancelled
+)
+
+// Audit-service job modes.
+const (
+	JobModeMultiple       = server.ModeMultiple
+	JobModeIntersectional = server.ModeIntersectional
+	JobModeClassifier     = server.ModeClassifier
+)
+
+// Audit-service errors.
+var (
+	// ErrJobNotFound marks an unknown job id.
+	ErrJobNotFound = server.ErrNotFound
+	// ErrTenantBudget marks a submission the tenant's remaining budget
+	// cannot admit.
+	ErrTenantBudget = server.ErrTenantBudget
+	// ErrServiceClosed marks a submission to a closed service.
+	ErrServiceClosed = server.ErrClosed
+)
+
+// NewAuditService opens (or creates) the service's data directory,
+// recovers every persisted job — resuming interrupted ones from their
+// journals with byte-identical results — and starts the worker pool.
+var NewAuditService = server.NewEngine
 
 // Wildcard is the unspecified pattern slot, written X in the paper.
 const Wildcard = pattern.Wildcard

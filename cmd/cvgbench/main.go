@@ -66,6 +66,12 @@ type benchRecord struct {
 	// trials to keep it attributable).
 	HITsPerSec   float64 `json:"hits_per_sec,omitempty"`
 	AllocsPerHIT float64 `json:"allocs_per_hit,omitempty"`
+	// JobsPerSec and SteadyHeapBytes are the audit-service metrics
+	// reported by the service-throughput harness: completed jobs per
+	// second through the persistent-job engine and the post-GC heap
+	// once the fleet is terminal but still held by the service.
+	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
+	SteadyHeapBytes float64 `json:"steady_heap_bytes,omitempty"`
 }
 
 // benchRun is one cvgbench invocation's records, keyed for the
@@ -96,6 +102,12 @@ type budgetCeller interface{ BudgetCells() (cells, exhausted int) }
 // audit throughput (audit-throughput).
 type throughputReporter interface {
 	Throughput() (hitsPerSec, allocsPerHIT float64)
+}
+
+// serviceReporter is implemented by results that measured the audit
+// service's job throughput (service-throughput).
+type serviceReporter interface {
+	Service() (jobsPerSec, steadyHeapBytes float64)
 }
 
 // gitSHA resolves the current commit, best-effort.
@@ -359,6 +371,9 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		if tp, ok := res.(throughputReporter); ok {
 			rec.HITsPerSec, rec.AllocsPerHIT = tp.Throughput()
+		}
+		if sp, ok := res.(serviceReporter); ok {
+			rec.JobsPerSec, rec.SteadyHeapBytes = sp.Service()
 		}
 		records = append(records, rec)
 		return nil

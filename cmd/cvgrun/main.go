@@ -16,14 +16,28 @@
 //	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl
 //	cvgrun -data faces.json -mode attribute -crowd -journal audit.jnl -resume
 //	cvgrun -data faces.json -mode group -group "1" -crowd -adversary-strategy colluding-liar -adversary-rate 0.3 -trust
+//
+// With -serve, cvgrun instead runs the multi-tenant audit service: an
+// HTTP job engine where each audit is a persistent job with its own
+// crash-safe journal under -data-dir, surviving server restarts with
+// byte-identical results:
+//
+//	cvgrun -serve :8080 -data-dir /var/lib/cvg
+//	cvgrun -serve 127.0.0.1:8080 -data-dir ./jobs -serve-workers 8 -tenant-max-hits 5000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"imagecvg"
 )
@@ -32,7 +46,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errOut io.Writer) int {
+func run(args []string, out, errOut io.Writer) (code int) {
 	fs := flag.NewFlagSet("cvgrun", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -57,12 +71,37 @@ func run(args []string, out, errOut io.Writer) int {
 		advRate   = fs.Float64("adversary-rate", 0.25, "adversarial fraction of the worker pool in [0,1] (with -adversary-strategy)")
 		trust     = fs.Bool("trust", false, "screen adversarial workers with the gold-probe trust middleware (requires -crowd; implies -lockstep; with -resume, replayed verdicts and the probe schedule restore exactly but trust evidence restarts — the raw answer feed is process-local, not journaled)")
 		probeN    = fs.Int("trust-probes", 8, "size of the deterministic gold-probe battery the trust middleware cycles (with -trust)")
+
+		serveAddr    = fs.String("serve", "", "run the audit service on this address (e.g. :8080) instead of a one-shot audit; requires -data-dir")
+		dataDir      = fs.String("data-dir", "", "data directory for the audit service's per-job journals and metadata (with -serve)")
+		serveWorkers = fs.Int("serve-workers", 4, "concurrent jobs of the audit service's worker pool (with -serve)")
+		tenantHITs   = fs.Int("tenant-max-hits", 0, "cap each tenant's committed crowd HITs across all its jobs (with -serve; 0 = unlimited)")
+		tenantSpend  = fs.Float64("tenant-max-spend", 0, "cap each tenant's committed crowd spend across all its jobs (with -serve; 0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *serveAddr != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(errOut, "cvgrun: -serve requires -data-dir")
+			return 2
+		}
+		return serve(*serveAddr, imagecvg.AuditServiceOptions{
+			DataDir:        *dataDir,
+			Workers:        *serveWorkers,
+			TenantMaxHITs:  *tenantHITs,
+			TenantMaxSpend: *tenantSpend,
+		}, out, errOut)
+	}
 	if *data == "" {
 		fmt.Fprintln(errOut, "cvgrun: -data is required")
+		return 2
+	}
+	if *trust && *probeN <= 0 {
+		// A non-positive battery would silently disable probing inside
+		// the trust middleware (GoldProbes returns an empty battery),
+		// leaving every worker unscreened while -trust claims otherwise.
+		fmt.Fprintf(errOut, "cvgrun: -trust-probes must be positive, got %d\n", *probeN)
 		return 2
 	}
 	ds, err := imagecvg.LoadDataset(*data)
@@ -127,7 +166,18 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(errOut, "cvgrun:", err)
 			return 1
 		}
-		defer jnl.Close()
+		// Close on every exit path — audit errors and flag errors
+		// included — and surface the close error: the final frame is
+		// only durable once the file handle closes cleanly, so a
+		// swallowed error here is silent checkpoint loss.
+		defer func() {
+			if cerr := jnl.Close(); cerr != nil {
+				fmt.Fprintln(errOut, "cvgrun: journal close:", cerr)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 		auditor = auditor.WithJournal(jnl, replay)
 		if *resume {
 			fmt.Fprintf(out, "journal: resuming %d committed rounds from %s\n", len(replay), *journalAt)
@@ -302,4 +352,46 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// serve runs the audit service until SIGINT/SIGTERM. On shutdown,
+// running jobs are cancelled at their next round boundary and park
+// non-terminal; their journals resume them — byte-identically — when
+// the service next starts over the same data directory.
+func serve(addr string, opts imagecvg.AuditServiceOptions, out, errOut io.Writer) int {
+	eng, err := imagecvg.NewAuditService(opts)
+	if err != nil {
+		fmt.Fprintln(errOut, "cvgrun:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		eng.Close()
+		fmt.Fprintln(errOut, "cvgrun:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: eng.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "cvgrun: serving audit jobs on %s (data dir %s, %d workers)\n",
+		ln.Addr(), opts.DataDir, opts.Workers)
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "cvgrun: shutting down; interrupted jobs resume on restart")
+		// Park the jobs first so open SSE streams end, then drain the
+		// HTTP server (force-closing stragglers after the grace period).
+		eng.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
+		return 0
+	case err := <-errCh:
+		eng.Close()
+		fmt.Fprintln(errOut, "cvgrun:", err)
+		return 1
+	}
 }

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"imagecvg"
 )
@@ -163,6 +169,11 @@ func TestCLIErrors(t *testing.T) {
 		{"unknown attr", []string{"-data", path, "-mode", "attribute", "-attr", "planet"}, 1},
 		{"unknown mode", []string{"-data", path, "-mode", "dance"}, 2},
 		{"bad flag", []string{"-zzz"}, 2},
+		{"trust-probes zero", []string{"-data", path, "-mode", "group", "-group", "1",
+			"-crowd", "-trust", "-trust-probes", "0"}, 2},
+		{"trust-probes negative", []string{"-data", path, "-mode", "group", "-group", "1",
+			"-crowd", "-trust", "-trust-probes", "-3"}, 2},
+		{"serve without data-dir", []string{"-serve", ":0"}, 2},
 	}
 	for _, tc := range cases {
 		var out, errOut bytes.Buffer
@@ -284,10 +295,139 @@ func TestJournalCheckpointAndResume(t *testing.T) {
 	}
 }
 
+// TestJournalClosedOnError: the journal file handle must be released
+// on every exit path, audit errors included — a leaked handle means
+// the final frame's durability was never confirmed. The run below
+// opens the journal, then fails in the mode switch (bad pattern);
+// the process-wide descriptor count must come back to its baseline.
+func TestJournalClosedOnError(t *testing.T) {
+	path := writeDataset(t, 50, 5)
+	jnl := t.TempDir() + "/audit.jnl"
+	fds := func() int {
+		ents, err := os.ReadDir("/proc/self/fd")
+		if err != nil {
+			t.Skipf("no /proc/self/fd: %v", err)
+		}
+		return len(ents)
+	}
+	before := fds()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", path, "-mode", "group", "-group", "XX9", "-journal", jnl}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if _, err := os.Stat(jnl); err != nil {
+		t.Fatalf("journal was never created: %v", err)
+	}
+	if after := fds(); after != before {
+		t.Errorf("descriptor count %d -> %d: journal handle leaked on the error path", before, after)
+	}
+	if strings.Contains(errOut.String(), "journal close") {
+		t.Errorf("clean close reported an error:\n%s", errOut.String())
+	}
+}
+
 func TestResumeRequiresJournal(t *testing.T) {
 	path := writeDataset(t, 50, 5)
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-data", path, "-mode", "group", "-group", "1", "-resume"}, &out, &errOut); code != 2 {
 		t.Errorf("exit = %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// syncWriter lets the serve goroutine and the test read/write the
+// captured output concurrently.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestServeSmoke drives the whole -serve lifecycle through run():
+// start the service on an ephemeral port, submit a job over HTTP,
+// poll it to completion, then deliver SIGINT and check the graceful
+// shutdown exits zero.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut syncWriter
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-serve", "127.0.0.1:0", "-data-dir", dir}, &out, &errOut)
+	}()
+
+	// The listen line carries the resolved address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("service never announced its address:\n%s%s", out.String(), errOut.String())
+		}
+		s := out.String()
+		if i := strings.Index(s, "serving audit jobs on "); i >= 0 {
+			rest := s[i+len("serving audit jobs on "):]
+			if j := strings.Index(rest, " ("); j >= 0 {
+				base = "http://" + rest[:j]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"mode":"multiple","dataset":{"n":60,"minority":5,"seed":1},"tau":4,"set_size":8,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st imagecvg.AuditJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST /jobs = %d, status %+v", resp.StatusCode, st)
+	}
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.State != imagecvg.JobDone || st.Result == nil {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+
+	// Graceful shutdown on SIGINT: the NotifyContext inside serve()
+	// owns the signal while the service runs.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exit = %d:\n%s", code, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("service never shut down after SIGINT:\n%s%s", out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown line:\n%s", out.String())
 	}
 }

@@ -102,6 +102,28 @@
 //     the concurrent engine's latency win, because a round's HITs
 //     still post together.
 //
+// # Audit service
+//
+// For long-running deployments the package exposes the whole audit
+// stack as a multi-tenant job service: NewAuditService runs a job
+// engine where every audit (multiple, intersectional or classifier
+// mode) is a persistent job with a queued -> running -> done / failed
+// / cancelled lifecycle, its own crash-safe round journal under the
+// service's data directory, and a budget clamped to its tenant's
+// remaining headroom. N jobs share one bounded worker pool;
+// AuditService.Handler serves the HTTP surface (POST /jobs,
+// GET /jobs/{id}, GET /jobs/{id}/stream for server-sent round events,
+// DELETE /jobs/{id}) that `cvgrun -serve :8080 -data-dir dir` binds.
+//
+// The service inherits the journal subsystem's contract wholesale: a
+// job killed mid-run — engine shutdown, process crash, SIGINT — parks
+// at its last committed round, and the next service start over the
+// same data directory resumes it from its journal, finishing with
+// verdicts, task tallies and ledger spend byte-identical to a job
+// that was never interrupted, stateful simulated crowd included.
+// Cancellation lands at round boundaries only, so a cancelled job's
+// journal holds exactly the rounds its status reports.
+//
 // # Experiment engine
 //
 // Above the audits sits a parallel trial-runner (exposed as RunTrials,

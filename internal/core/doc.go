@@ -140,6 +140,25 @@
 // (and was journaled) or never touched the crowd, which is what makes
 // kill-at-round-K exactly resumable.
 //
+// # Audit service
+//
+// The serve mode (internal/server, surfaced as cvgrun -serve) runs
+// many such journaled audits as persistent jobs: each job owns one
+// RoundJournal file in a data directory, its engine threads a per-job
+// context into the options, and a worker pool built on RunBounded
+// drains the queue. The properties this package guarantees are
+// exactly what make that service correct — commits-or-never
+// cancellation means an interrupted job's journal is a complete
+// checkpoint; replay verification means a resumed job either
+// reproduces the original audit byte-for-byte or fails loudly with
+// ErrJournalMismatch; and ledger restoration means a tenant's budget
+// accounting survives restarts without double-charging a single HIT.
+// For the stateful crowd platform the service re-warms a fresh,
+// identically-seeded platform by re-posting the journal's answered
+// prefixes before going live, reconstructing the platform's RNG
+// stream so post-resume rounds draw the same workers they would have
+// drawn uninterrupted.
+//
 // # Trust and adversarial workers
 //
 // The trust middleware (trust.go) defends an audit against workers who

@@ -19,8 +19,9 @@ import (
 // round. Open, when it succeeds, must agree with Load and leave a file
 // that appends and reloads cleanly.
 func FuzzJournalReplay(f *testing.F) {
-	f.Add(uint16(0), uint16(0), false)    // untouched
-	f.Add(uint16(3), uint16(0), false)    // truncated into the magic
+	f.Add(uint16(0), uint16(0), false)    // truncated to zero length: torn Create
+	f.Add(uint16(3), uint16(0), false)    // truncated into the magic: torn header
+	f.Add(uint16(8), uint16(0), false)    // truncated to the magic only: empty journal
 	f.Add(uint16(20), uint16(0), false)   // truncated mid-frame
 	f.Add(uint16(0), uint16(9), true)     // flip inside first frame header
 	f.Add(uint16(0), uint16(40), true)    // flip inside a payload

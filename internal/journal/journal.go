@@ -19,7 +19,10 @@
 // incomplete, or whose checksum does not match — Load drops exactly
 // that frame and returns every complete round before it, and Open
 // additionally truncates the file back to the last complete round so
-// appending resumes cleanly. Anything else — a checksum mismatch with
+// appending resumes cleanly. A crash inside Create can likewise leave
+// a torn header — a zero-length file or a strict prefix of the magic
+// — which both treat as an empty journal (resume from round 0); Open
+// rewrites the header before accepting appends. Anything else — a checksum mismatch with
 // more bytes behind it, undecodable JSON, out-of-sequence round
 // numbers, a bad magic — is corruption, and Load fails loudly with
 // ErrCorrupt: silently replaying a damaged journal would fabricate
@@ -98,6 +101,24 @@ func Open(path string) (*Journal, []core.RoundRecord, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	// A torn header (crash inside Create before the magic was durable)
+	// reads as an empty journal with validEnd 0: rewrite the header so
+	// appends land on a well-formed file.
+	if validEnd < int64(len(magic)) {
+		if terr := f.Truncate(0); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn header of %s: %w", path, terr)
+		}
+		if _, werr := f.WriteAt([]byte(magic), 0); werr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: rewrite header of %s: %w", path, werr)
+		}
+		if serr := f.Sync(); serr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: sync header of %s: %w", path, serr)
+		}
+		validEnd = int64(len(magic))
+	}
 	// Drop the torn tail, if any, so appends extend the last complete
 	// round.
 	if fi, serr := f.Stat(); serr == nil && fi.Size() > validEnd {
@@ -138,7 +159,18 @@ func readAll(f *os.File) ([]core.RoundRecord, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: read: %w", err)
 	}
-	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], []byte(magic)) {
+	if len(data) < len(magic) {
+		// A zero-length file, or any strict prefix of the magic, is the
+		// torn header a crash inside Create leaves behind — an empty
+		// journal (resume from round 0), not corruption. validEnd 0
+		// tells Open to rewrite the header. Content that diverges from
+		// the magic is a different file format, and stays loud.
+		if bytes.Equal(data, []byte(magic)[:len(data)]) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: missing or wrong magic", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
 		return nil, 0, fmt.Errorf("%w: missing or wrong magic", ErrCorrupt)
 	}
 	var recs []core.RoundRecord

@@ -210,7 +210,10 @@ func TestJournalCorruptionIsLoud(t *testing.T) {
 	}{
 		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
 		{"mid-file payload flip", func(b []byte) []byte { b[len(magic)+frameHeaderSize+2] ^= 0x01; return b }},
-		{"truncated to no magic", func(b []byte) []byte { return b[:4] }},
+		// A short file only counts as a torn header when it is a strict
+		// prefix of the magic; short content that diverges is a
+		// different file format and stays loud.
+		{"short non-prefix", func(b []byte) []byte { b[0] ^= 0xff; return b[:4] }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -228,6 +231,58 @@ func TestJournalCorruptionIsLoud(t *testing.T) {
 			}
 			if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
 				t.Errorf("Open = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestJournalTornHeaderIsEmpty pins the classification of files shorter
+// than the magic: a zero-length file or any strict prefix of the magic
+// is the wreckage of a crash inside Create — an empty journal that
+// resumes from round 0 — not corruption. Open must rewrite the header
+// so the recovered file accepts appends and reloads cleanly.
+func TestJournalTornHeaderIsEmpty(t *testing.T) {
+	cases := []struct {
+		name    string
+		content []byte
+	}{
+		{"zero length", []byte{}},
+		{"one magic byte", []byte(magic)[:1]},
+		{"partial magic", []byte(magic)[:5]},
+		{"magic only", []byte(magic)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "audit.jnl")
+			if err := os.WriteFile(path, tc.content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load = %v, want empty journal", err)
+			}
+			if len(recs) != 0 {
+				t.Fatalf("Load returned %d records from a header-only file", len(recs))
+			}
+			j, replay, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open = %v, want empty journal", err)
+			}
+			if len(replay) != 0 {
+				t.Fatalf("Open returned %d replay records", len(replay))
+			}
+			if err := j.Append(core.RoundRecord{Round: 0, Points: []dataset.ObjectID{1}, PointAnswers: [][]int{{0}}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatalf("reload after header recovery: %v", err)
+			}
+			if len(loaded) != 1 || loaded[0].Round != 0 {
+				t.Fatalf("reload after header recovery: %+v", loaded)
 			}
 		})
 	}

@@ -1,0 +1,336 @@
+package server
+
+// Job-engine lifecycle suite, run under -race in CI: concurrent
+// submit/status/cancel of a 32-job fleet, cancel-during-round
+// commits-or-never semantics against the on-disk journal, restart
+// resumption of interrupted jobs, and per-tenant budget admission.
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"imagecvg/internal/journal"
+)
+
+// smallJob is a fast truth-oracle audit used across the suite.
+func smallJob(seed int64) JobConfig {
+	return JobConfig{
+		Mode:    ModeMultiple,
+		Dataset: DatasetSpec{N: 60, Minority: 5, Seed: seed},
+		Tau:     4,
+		SetSize: 8,
+		Seed:    seed,
+	}
+}
+
+// slowJob takes long enough to cancel mid-run: per-HIT delay makes
+// each lockstep round take visible wall-clock time.
+func slowJob(seed int64) JobConfig {
+	cfg := smallJob(seed)
+	cfg.Dataset.N = 200
+	cfg.Dataset.Minority = 16
+	cfg.Tau = 10
+	cfg.SetSize = 12
+	cfg.HITDelayMicros = 1500
+	return cfg
+}
+
+func newTestEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	if opts.DataDir == "" {
+		opts.DataDir = t.TempDir()
+	}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// waitTerminal waits for a terminal state, failing the test on timeout.
+func waitTerminal(t *testing.T, e *Engine, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEngineLifecycleConcurrent drives 32 jobs through the engine
+// while other goroutines hammer Status/List and cancel a third of the
+// fleet — the -race lifecycle stress the ISSUE asks for.
+func TestEngineLifecycleConcurrent(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 8})
+	const n = 32
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := slowJob(int64(i + 1))
+		cfg.HITDelayMicros = 200
+		id, err := e.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Status/List hammers.
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = e.List()
+				if _, err := e.Status(ids[g*7%n]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Cancel every third job concurrently.
+	for i := 0; i < n; i += 3 {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := e.Cancel(id); err != nil {
+				t.Error(err)
+			}
+		}(ids[i])
+	}
+	for i, id := range ids {
+		st := waitTerminal(t, e, id)
+		switch {
+		case i%3 == 0:
+			// A cancel can race completion; both outcomes are terminal
+			// and legal, failure is not.
+			if st.State != StateCancelled && st.State != StateDone {
+				t.Errorf("job %s: state %s (%s), want cancelled or done", id, st.State, st.Error)
+			}
+		case st.State != StateDone:
+			t.Errorf("job %s: state %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCancelCommitsOrNever cancels a running job and checks the
+// commits-or-never contract: the on-disk journal holds exactly the
+// rounds the job reports, every one complete and gapless — no torn
+// round, no phantom round past the cancellation point.
+func TestCancelCommitsOrNever(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEngine(t, Options{DataDir: dir, Workers: 2})
+	id, err := e.Submit(slowJob(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, unsub, err := e.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	// Wait for at least one committed round, then cancel mid-flight.
+	for ev := range sub {
+		if ev.Type == "round" {
+			break
+		}
+		if ev.Type == "state" && ev.State.Terminal() {
+			t.Fatalf("job finished before a round event arrived")
+		}
+	}
+	if err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, e, id)
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if st.Rounds == 0 {
+		t.Fatal("cancelled job reports zero committed rounds")
+	}
+	recs, err := journal.Load(filepath.Join(dir, id+".jnl"))
+	if err != nil {
+		t.Fatalf("journal after cancel: %v", err)
+	}
+	if len(recs) != st.Rounds {
+		t.Fatalf("journal holds %d rounds, status says %d", len(recs), st.Rounds)
+	}
+}
+
+// TestRestartResume interrupts a job with crash injection, restarts
+// the engine over the same data directory, and checks the resumed
+// job's result is byte-identical to an uninterrupted run of the same
+// configuration.
+func TestRestartResume(t *testing.T) {
+	cfg := smallJob(11)
+	cfg.Dataset.N = 150
+	cfg.Dataset.Minority = 12
+	cfg.Tau = 8
+
+	// Uninterrupted reference.
+	ref := newTestEngine(t, Options{Workers: 1})
+	refID, err := ref.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSt := waitTerminal(t, ref, refID)
+	if refSt.State != StateDone {
+		t.Fatalf("reference job: %s (%s)", refSt.State, refSt.Error)
+	}
+
+	// Crash-injected first attempt: parked non-terminal after 2 rounds.
+	dir := t.TempDir()
+	e1 := newTestEngine(t, Options{DataDir: dir, Workers: 1, CrashAfterRounds: 2})
+	id, err := e1.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, unsub, err := e1.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := false
+	for ev := range sub {
+		if ev.Type == "state" && ev.State == StateQueued {
+			parked = true
+			break
+		}
+		if ev.Type == "state" && ev.State.Terminal() {
+			t.Fatalf("job reached %s before the injected crash", ev.State)
+		}
+	}
+	unsub()
+	if !parked {
+		t.Fatal("job never parked after crash injection")
+	}
+	st, err := e1.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("parked with %d rounds, want >= 2", st.Rounds)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarted engine resumes and finishes.
+	e2 := newTestEngine(t, Options{DataDir: dir, Workers: 1})
+	st2, err := e2.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone {
+		t.Fatalf("resumed job: %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Replayed == 0 {
+		t.Fatal("resumed job replayed zero rounds")
+	}
+	got, _ := json.Marshal(st2.Result)
+	want, _ := json.Marshal(refSt.Result)
+	if string(got) != string(want) {
+		t.Fatalf("resumed result diverged:\n%s\nvs\n%s", got, want)
+	}
+	if st2.Rounds != refSt.Rounds {
+		t.Fatalf("resumed rounds %d, reference %d", st2.Rounds, refSt.Rounds)
+	}
+}
+
+// TestTenantBudget checks admission: job budgets clamp to the
+// tenant's remaining headroom and an exhausted tenant is refused.
+func TestTenantBudget(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, TenantMaxHITs: 40})
+	cfg := smallJob(5)
+	cfg.Tenant = "acme"
+	id, err := e.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Budget.MaxHITs != 40 {
+		t.Fatalf("effective MaxHITs %d, want clamp to tenant's 40", st.Budget.MaxHITs)
+	}
+	st = waitTerminal(t, e, id)
+	if st.State != StateDone {
+		t.Fatalf("budgeted job: %s (%s)", st.State, st.Error)
+	}
+	if st.Spent.HITs() == 0 || st.Spent.HITs() > 40 {
+		t.Fatalf("spent %d HITs under a 40-HIT cap", st.Spent.HITs())
+	}
+	// Burn the remainder until the tenant is refused.
+	refused := false
+	for i := 0; i < 10; i++ {
+		next := smallJob(int64(6 + i))
+		next.Tenant = "acme"
+		nid, err := e.Submit(next)
+		if errors.Is(err, ErrTenantBudget) {
+			refused = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, e, nid)
+	}
+	if !refused {
+		t.Fatal("tenant never exhausted its 40-HIT cap")
+	}
+	// Other tenants are unaffected.
+	other := smallJob(99)
+	other.Tenant = "globex"
+	if _, err := e.Submit(other); err != nil {
+		t.Fatalf("fresh tenant refused: %v", err)
+	}
+}
+
+// TestSubmitValidation table-tests config rejection.
+func TestSubmitValidation(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		cfg  JobConfig
+	}{
+		{"unknown mode", JobConfig{Mode: "bogus", Dataset: DatasetSpec{N: 10}}},
+		{"no dataset", JobConfig{Mode: ModeMultiple}},
+		{"negative minority", JobConfig{Dataset: DatasetSpec{N: 10, Minority: -1}}},
+		{"minority over n", JobConfig{Dataset: DatasetSpec{N: 10, Minority: 11}}},
+		{"negative tau", JobConfig{Dataset: DatasetSpec{N: 10}, Tau: -1}},
+		{"negative set size", JobConfig{Dataset: DatasetSpec{N: 10}, SetSize: -2}},
+		{"negative parallelism", JobConfig{Dataset: DatasetSpec{N: 10}, Parallelism: -1}},
+		{"unknown oracle", JobConfig{Dataset: DatasetSpec{N: 10}, Oracle: "psychic"}},
+		{"negative budget", JobConfig{Dataset: DatasetSpec{N: 10}, MaxHITs: -5}},
+		{"negative delay", JobConfig{Dataset: DatasetSpec{N: 10}, HITDelayMicros: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := e.Submit(tc.cfg); err == nil {
+				t.Errorf("config accepted: %+v", tc.cfg)
+			}
+		})
+	}
+}

@@ -29,9 +29,10 @@ var update = flag.Bool("update", false, "rewrite the golden files from the seque
 // goldenExcluded lists artifacts whose rendering carries wall-clock
 // measurements and therefore cannot be byte-compared across machines.
 var goldenExcluded = map[string]string{
-	"lockstep-latency": "renders wall-clock; covered by the benchmark history gate instead",
-	"journal-overhead": "renders wall-clock; covered by the benchmark history gate instead",
-	"audit-throughput": "renders wall-clock and allocation counts; covered by the benchmark history gate instead",
+	"lockstep-latency":   "renders wall-clock; covered by the benchmark history gate instead",
+	"journal-overhead":   "renders wall-clock; covered by the benchmark history gate instead",
+	"audit-throughput":   "renders wall-clock and allocation counts; covered by the benchmark history gate instead",
+	"service-throughput": "renders wall-clock and heap sizes; covered by the benchmark history gate instead",
 }
 
 // canonicalArtifact renders an experiment result without its

@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// TestServiceThroughputSmoke asserts the semantics half of the
+// audit-service artifact: the whole fleet must finish, report real
+// crowd-task totals, and yield positive throughput and residency
+// numbers for the benchmark history to gate on. The wall-clock half
+// lives in BENCH_core.json, not here.
+func TestServiceThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service benchmark skipped in -short")
+	}
+	p := DefaultServiceThroughputParams()
+	p.Jobs = 24 // a CI-sized fleet; the default 150 is for cvgbench
+	res, err := RunServiceThroughput(p, Options{Seed: 42, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsPerSec <= 0 {
+		t.Errorf("jobs/sec %.2f, want > 0", res.JobsPerSec)
+	}
+	if res.SteadyHeapBytes <= 0 {
+		t.Errorf("steady heap %.0f bytes, want > 0", res.SteadyHeapBytes)
+	}
+	if res.TasksPerTrial < float64(p.Jobs) {
+		t.Errorf("tasks/trial %.0f below one per job (%d jobs)", res.TasksPerTrial, p.Jobs)
+	}
+	if jps, heap := res.Service(); jps != res.JobsPerSec || heap != res.SteadyHeapBytes {
+		t.Errorf("Service() = (%.2f, %.0f), want (%.2f, %.0f)", jps, heap, res.JobsPerSec, res.SteadyHeapBytes)
+	}
+}

@@ -267,6 +267,13 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "service-throughput", Paper: "extension",
+			Description: "audit-service jobs/sec and steady-state heap under a fleet of small concurrent jobs (journal-per-job engine)",
+			Run: func(o Options) (fmt.Stringer, error) {
+				return RunServiceThroughput(DefaultServiceThroughputParams(), o)
+			},
+		},
+		{
 			ID: "journal-overhead", Paper: "extension",
 			Description: "checkpoint cost of the fsynced round journal vs the bare lockstep stack (per-HIT round-trip delay)",
 			Run: func(o Options) (fmt.Stringer, error) {

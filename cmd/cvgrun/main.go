@@ -24,6 +24,10 @@
 //
 //	cvgrun -serve :8080 -data-dir /var/lib/cvg
 //	cvgrun -serve 127.0.0.1:8080 -data-dir ./jobs -serve-workers 8 -tenant-max-hits 5000
+//
+// The service API is unauthenticated (tenants partition budgets, not
+// access) — bind loopback or a firewalled address unless an
+// authenticating proxy fronts it.
 package main
 
 import (

@@ -124,6 +124,12 @@
 // Cancellation lands at round boundaries only, so a cancelled job's
 // journal holds exactly the rounds its status reports.
 //
+// The service's HTTP API is unauthenticated: tenants are a
+// budget-accounting boundary, not a security boundary, and any
+// client that reaches the listener can act on any tenant's jobs.
+// Run it single-operator on a trusted network, or front it with an
+// authenticating proxy that pins each caller to its own tenant.
+//
 // # Experiment engine
 //
 // Above the audits sits a parallel trial-runner (exposed as RunTrials,

@@ -22,6 +22,9 @@ var (
 	ErrClosed = errors.New("server: engine closed")
 	// ErrTenantBudget marks a submit the tenant's budget cannot admit.
 	ErrTenantBudget = errors.New("server: tenant budget exhausted")
+	// ErrInvalidConfig marks a malformed submission (decode or
+	// validation failure); the HTTP layer maps it to 400.
+	ErrInvalidConfig = errors.New("server: invalid job config")
 )
 
 // Options configures an Engine.
@@ -36,7 +39,9 @@ type Options struct {
 	// TenantMaxHITs and TenantMaxSpend cap each tenant's committed
 	// crowd tasks across all its jobs; 0 disables a cap. Admission
 	// clamps a job's budget to the tenant's remaining headroom at
-	// submit and persists the effective caps with the job.
+	// submit, reserves the clamped caps until the job terminates (so
+	// concurrently submitted jobs split the headroom instead of each
+	// taking all of it), and persists the effective caps with the job.
 	TenantMaxHITs  int
 	TenantMaxSpend float64
 	// CrashAfterRounds, when positive, cancels every running job after
@@ -47,10 +52,16 @@ type Options struct {
 	CrashAfterRounds int
 }
 
-// tenantSpent is one tenant's folded committed consumption.
+// tenantSpent is one tenant's budget ledger: consumption folded from
+// terminal jobs plus the admitted caps of live (queued, running or
+// parked) jobs, reserved at admission so concurrent submissions
+// cannot each be clamped to the full remaining headroom and
+// over-commit the tenant's caps.
 type tenantSpent struct {
-	hits  int
-	spend float64
+	hits     int
+	spend    float64
+	resHITs  int
+	resSpend float64
 }
 
 // job is the engine-side runtime state of one audit job.
@@ -239,6 +250,7 @@ func (e *Engine) recover() error {
 				}
 			}
 			if !j.state.Terminal() {
+				e.reserveTenantLocked(j)
 				e.pending = append(e.pending, j)
 			}
 		}
@@ -252,18 +264,46 @@ func (e *Engine) recover() error {
 // tenant's ledger; callers hold e.mu or run before the engine is
 // shared.
 func (e *Engine) foldTenantLocked(j *job) {
-	t := e.tenants[j.cfg.Tenant]
-	if t == nil {
-		t = &tenantSpent{}
-		e.tenants[j.cfg.Tenant] = t
-	}
+	t := e.tenantLocked(j.cfg.Tenant)
 	t.hits += j.spent.HITs()
 	t.spend += j.spent.Spend
 }
 
+// tenantLocked returns (creating if needed) a tenant's ledger;
+// callers hold e.mu or run before the engine is shared.
+func (e *Engine) tenantLocked(tenant string) *tenantSpent {
+	t := e.tenants[tenant]
+	if t == nil {
+		t = &tenantSpent{}
+		e.tenants[tenant] = t
+	}
+	return t
+}
+
+// reserveTenantLocked holds a live job's admitted caps against its
+// tenant's headroom, so later admissions see the committed-but-not-
+// yet-folded budget; callers hold e.mu or run before the engine is
+// shared. finish releases the reservation when the job's actual
+// consumption folds.
+func (e *Engine) reserveTenantLocked(j *job) {
+	t := e.tenantLocked(j.cfg.Tenant)
+	t.resHITs += j.caps.MaxHITs
+	t.resSpend += j.caps.MaxSpend
+}
+
+// releaseTenantLocked drops a terminal job's reservation; callers
+// hold e.mu.
+func (e *Engine) releaseTenantLocked(j *job) {
+	if t := e.tenants[j.cfg.Tenant]; t != nil {
+		t.resHITs -= j.caps.MaxHITs
+		t.resSpend -= j.caps.MaxSpend
+	}
+}
+
 // Submit validates, persists and enqueues a job, returning its id.
 // The job's budget caps are clamped to the tenant's remaining
-// headroom here and persisted, so a later resume runs under the same
+// headroom here, reserved against the tenant until the job
+// terminates, and persisted, so a later resume runs under the same
 // effective budget.
 func (e *Engine) Submit(cfg JobConfig) (string, error) {
 	if err := cfg.normalize(); err != nil {
@@ -293,13 +333,17 @@ func (e *Engine) Submit(cfg JobConfig) (string, error) {
 	e.nextID++
 	e.jobs[id] = j
 	e.order = append(e.order, id)
+	e.reserveTenantLocked(j)
 	e.pending = append(e.pending, j)
 	e.cond.Signal()
 	return id, nil
 }
 
 // admitLocked resolves a submission's effective budget under the
-// tenant caps; callers hold e.mu.
+// tenant caps; callers hold e.mu. Headroom is what the caps leave
+// after both the folded consumption of terminal jobs and the
+// reserved caps of live ones — so N concurrent submissions split the
+// tenant's budget instead of each being clamped to all of it.
 func (e *Engine) admitLocked(cfg JobConfig) (BudgetCaps, error) {
 	caps := BudgetCaps{MaxHITs: cfg.MaxHITs, MaxSpend: cfg.MaxSpend}
 	t := e.tenants[cfg.Tenant]
@@ -307,20 +351,20 @@ func (e *Engine) admitLocked(cfg JobConfig) (BudgetCaps, error) {
 		t = &tenantSpent{}
 	}
 	if e.opts.TenantMaxHITs > 0 {
-		remaining := e.opts.TenantMaxHITs - t.hits
+		remaining := e.opts.TenantMaxHITs - t.hits - t.resHITs
 		if remaining <= 0 {
-			return BudgetCaps{}, fmt.Errorf("%w: tenant %q spent %d of %d HITs",
-				ErrTenantBudget, cfg.Tenant, t.hits, e.opts.TenantMaxHITs)
+			return BudgetCaps{}, fmt.Errorf("%w: tenant %q holds %d spent + %d reserved of %d HITs",
+				ErrTenantBudget, cfg.Tenant, t.hits, t.resHITs, e.opts.TenantMaxHITs)
 		}
 		if caps.MaxHITs == 0 || caps.MaxHITs > remaining {
 			caps.MaxHITs = remaining
 		}
 	}
 	if e.opts.TenantMaxSpend > 0 {
-		remaining := e.opts.TenantMaxSpend - t.spend
+		remaining := e.opts.TenantMaxSpend - t.spend - t.resSpend
 		if remaining <= 0 {
-			return BudgetCaps{}, fmt.Errorf("%w: tenant %q spent %.2f of %.2f",
-				ErrTenantBudget, cfg.Tenant, t.spend, e.opts.TenantMaxSpend)
+			return BudgetCaps{}, fmt.Errorf("%w: tenant %q holds %.2f spent + %.2f reserved of %.2f",
+				ErrTenantBudget, cfg.Tenant, t.spend, t.resSpend, e.opts.TenantMaxSpend)
 		}
 		if caps.MaxSpend == 0 || caps.MaxSpend > remaining {
 			caps.MaxSpend = remaining
@@ -422,6 +466,7 @@ func (e *Engine) finish(j *job, state JobState, res *JobResult, err error) {
 		j.mu.Unlock()
 	}
 	e.mu.Lock()
+	e.releaseTenantLocked(j)
 	e.foldTenantLocked(j)
 	e.mu.Unlock()
 

@@ -8,6 +8,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -308,6 +309,135 @@ func TestTenantBudget(t *testing.T) {
 	}
 }
 
+// TestTenantBudgetConcurrentSubmit submits back-to-back without
+// waiting for terminal states — the normal async pattern — and checks
+// admission reserves each job's clamped caps, so concurrent jobs
+// split the tenant's headroom instead of each being clamped to all of
+// it (which would let a tenant commit N× its cap). A slow job from
+// another tenant occupies the single worker, so none of the budgeted
+// jobs can run (and release its reservation) between submissions.
+func TestTenantBudgetConcurrentSubmit(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1, TenantMaxHITs: 40})
+	blocker := slowJob(41)
+	blocker.Tenant = "blocker"
+	blockerID, err := e.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i, want := range []int{15, 15, 10} { // 15+15 leave 10 of 40
+		cfg := smallJob(int64(42 + i))
+		cfg.Tenant = "acme"
+		cfg.MaxHITs = 15
+		id, err := e.Submit(cfg)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Budget.MaxHITs != want {
+			t.Fatalf("job %d admitted with MaxHITs %d, want %d", i, st.Budget.MaxHITs, want)
+		}
+		ids = append(ids, id)
+	}
+	over := smallJob(45)
+	over.Tenant = "acme"
+	over.MaxHITs = 15
+	if _, err := e.Submit(over); !errors.Is(err, ErrTenantBudget) {
+		t.Fatalf("4th concurrent job admitted over the tenant cap (err=%v)", err)
+	}
+	// Terminal jobs release their reservations and fold actual spend:
+	// cancelling the queued jobs (spend 0) restores the full headroom.
+	for _, id := range ids {
+		if err := e.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, e, id)
+	}
+	again := smallJob(46)
+	again.Tenant = "acme"
+	id, err := e.Submit(again)
+	if err != nil {
+		t.Fatalf("submit after reservations released: %v", err)
+	}
+	if st, _ := e.Status(id); st.Budget.MaxHITs != 40 {
+		t.Fatalf("post-release headroom %d, want 40", st.Budget.MaxHITs)
+	}
+	if err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Cancel(blockerID)
+}
+
+// TestTenantBudgetReservedAcrossRestart parks a budgeted job mid-run
+// via crash injection, restarts the engine over the same directory,
+// and checks recovery re-reserves the parked job's persisted caps —
+// a submission on the restarted engine sees only the leftover
+// headroom.
+func TestTenantBudgetReservedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newTestEngine(t, Options{DataDir: dir, Workers: 1, TenantMaxHITs: 400, CrashAfterRounds: 1})
+	cfg := slowJob(51)
+	cfg.Tenant = "acme"
+	cfg.MaxHITs = 150 // ample: one committed round cannot exhaust it
+	id, err := e1.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, unsub, err := e1.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := false
+	for ev := range sub {
+		if ev.Type == "state" && ev.State == StateQueued {
+			parked = true
+			break
+		}
+		if ev.Type == "state" && ev.State.Terminal() {
+			t.Fatalf("job reached %s before the injected crash", ev.State)
+		}
+	}
+	unsub()
+	if !parked {
+		t.Fatal("job never parked after crash injection")
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, Options{DataDir: dir, Workers: 1, TenantMaxHITs: 400})
+	next := smallJob(52)
+	next.Tenant = "acme"
+	nid, err := e2.Submit(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e2.Status(nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Budget.MaxHITs != 250 {
+		t.Fatalf("post-restart headroom %d, want 250 (400 minus the parked job's reserved 150)", st.Budget.MaxHITs)
+	}
+}
+
+// TestRecoverRejectsUnknownMetaField checks the loud-corruption
+// policy extends to job meta files: an unknown field fails recovery
+// instead of being silently dropped.
+func TestRecoverRejectsUnknownMetaField(t *testing.T) {
+	dir := t.TempDir()
+	meta := `{"id":"job-000000","config":{"dataset":{"n":10},"seed":1},"budget":{},"state":"done","bogus_field":true}`
+	if err := os.WriteFile(filepath.Join(dir, "job-000000.job.json"), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(Options{DataDir: dir}); err == nil {
+		t.Fatal("engine recovered a job meta with an unknown field")
+	}
+}
+
 // TestSubmitValidation table-tests config rejection.
 func TestSubmitValidation(t *testing.T) {
 	e := newTestEngine(t, Options{Workers: 1})
@@ -328,8 +458,12 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := e.Submit(tc.cfg); err == nil {
-				t.Errorf("config accepted: %+v", tc.cfg)
+			_, err := e.Submit(tc.cfg)
+			if err == nil {
+				t.Fatalf("config accepted: %+v", tc.cfg)
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Errorf("validation error %v does not wrap ErrInvalidConfig", err)
 			}
 		})
 	}

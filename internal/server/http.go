@@ -14,6 +14,16 @@ import (
 //	GET    /jobs/{id}        one job's status + partial verdicts
 //	GET    /jobs/{id}/stream SSE: snapshot, then round/state events
 //	DELETE /jobs/{id}        cancel via the job's context (202)
+//
+// Trust model: the API is unauthenticated and the tenant field of a
+// submission is client-supplied — tenants are a budget-accounting
+// boundary, not a security boundary. Any client that can reach the
+// listener can submit against any tenant's budget and list, read,
+// stream or cancel any job. Serve mode is built for a single
+// operator on a trusted network — bind a loopback or otherwise
+// firewalled address; exposing it to mutually untrusting tenants
+// requires an authenticating front proxy that verifies the tenant
+// server-side and scopes /jobs/{id} access to the caller's own jobs.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", e.handleSubmit)
@@ -33,10 +43,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps engine errors to HTTP status codes.
+// writeError maps engine errors to HTTP status codes. Only
+// recognized client faults get 4xx; anything else (e.g. a meta
+// persistence failure inside Submit) is a 500.
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
+	code := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, ErrInvalidConfig):
+		code = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrTenantBudget):
@@ -52,7 +66,7 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
-		writeError(w, fmt.Errorf("server: decode job config: %w", err))
+		writeError(w, fmt.Errorf("%w: decode: %v", ErrInvalidConfig, err))
 		return
 	}
 	id, err := e.Submit(cfg)

@@ -7,6 +7,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -154,6 +156,29 @@ func TestHTTPCancel(t *testing.T) {
 	final := waitTerminal(t, e, st.ID)
 	if final.State != StateCancelled && final.State != StateDone {
 		t.Fatalf("after cancel: %s", final.State)
+	}
+}
+
+// TestWriteErrorCodes checks the error→status mapping directly — in
+// particular that unrecognized (internal) errors report as 500s, not
+// client faults.
+func TestWriteErrorCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{errors.New("server: persist job meta: disk full"), http.StatusInternalServerError},
+		{badConfig("tau must be positive"), http.StatusBadRequest},
+		{fmt.Errorf("job-000042: %w", ErrNotFound), http.StatusNotFound},
+		{fmt.Errorf("%w: tenant %q", ErrTenantBudget, "acme"), http.StatusTooManyRequests},
+		{ErrClosed, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.code {
+			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.code)
+		}
 	}
 }
 

@@ -18,7 +18,10 @@
 //
 // The HTTP surface (Engine.Handler) exposes POST /jobs, GET /jobs,
 // GET /jobs/{id}, GET /jobs/{id}/stream (SSE round-by-round progress)
-// and DELETE /jobs/{id}; cvgrun -serve mounts it.
+// and DELETE /jobs/{id}; cvgrun -serve mounts it. The API is
+// unauthenticated and trusts the client-supplied tenant field —
+// tenants partition budgets, not access; see Engine.Handler for the
+// trust model and how to front the service for untrusting tenants.
 package server
 
 import (
@@ -123,6 +126,12 @@ type JobConfig struct {
 	HITDelayMicros int64 `json:"hit_delay_micros,omitempty"`
 }
 
+// badConfig builds a validation error wrapping ErrInvalidConfig, so
+// the HTTP layer maps it to 400 Bad Request.
+func badConfig(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
 // normalize applies defaults and validates the configuration.
 func (c *JobConfig) normalize() error {
 	if c.Mode == "" {
@@ -131,54 +140,54 @@ func (c *JobConfig) normalize() error {
 	switch c.Mode {
 	case ModeMultiple, ModeIntersectional, ModeClassifier:
 	default:
-		return fmt.Errorf("server: unknown mode %q", c.Mode)
+		return badConfig("unknown mode %q", c.Mode)
 	}
 	if c.Dataset.Path == "" {
 		if c.Dataset.N <= 0 {
-			return fmt.Errorf("server: dataset needs a path or a positive n")
+			return badConfig("dataset needs a path or a positive n")
 		}
 		if c.Dataset.Minority < 0 || c.Dataset.Minority > c.Dataset.N {
-			return fmt.Errorf("server: dataset minority %d outside [0, %d]", c.Dataset.Minority, c.Dataset.N)
+			return badConfig("dataset minority %d outside [0, %d]", c.Dataset.Minority, c.Dataset.N)
 		}
 	}
 	if c.Tau == 0 {
 		c.Tau = 50
 	}
 	if c.Tau < 0 {
-		return fmt.Errorf("server: tau must be positive, got %d", c.Tau)
+		return badConfig("tau must be positive, got %d", c.Tau)
 	}
 	if c.SetSize == 0 {
 		c.SetSize = 50
 	}
 	if c.SetSize < 0 {
-		return fmt.Errorf("server: set size must be positive, got %d", c.SetSize)
+		return badConfig("set size must be positive, got %d", c.SetSize)
 	}
 	if c.Attr < 0 || c.Value < 0 {
-		return fmt.Errorf("server: attr/value must be non-negative")
+		return badConfig("attr/value must be non-negative")
 	}
 	if c.Mode == ModeClassifier && c.Attr == 0 && c.Value == 0 {
 		c.Value = 1 // minority group of the generated gender datasets
 	}
 	if c.Parallelism < 0 {
-		return fmt.Errorf("server: parallelism must be non-negative, got %d", c.Parallelism)
+		return badConfig("parallelism must be non-negative, got %d", c.Parallelism)
 	}
 	if c.Oracle == "" {
 		c.Oracle = "truth"
 	}
 	if c.Oracle != "truth" && c.Oracle != "crowd" {
-		return fmt.Errorf("server: unknown oracle %q", c.Oracle)
+		return badConfig("unknown oracle %q", c.Oracle)
 	}
 	if c.Assignments < 0 || c.PoolSize < 0 {
-		return fmt.Errorf("server: assignments/pool size must be non-negative")
+		return badConfig("assignments/pool size must be non-negative")
 	}
 	if c.MaxHITs < 0 || c.MaxSpend < 0 {
-		return fmt.Errorf("server: budget caps must be non-negative")
+		return badConfig("budget caps must be non-negative")
 	}
 	if c.ClassifierTP < 0 || c.ClassifierFP < 0 {
-		return fmt.Errorf("server: classifier tp/fp must be non-negative")
+		return badConfig("classifier tp/fp must be non-negative")
 	}
 	if c.HITDelayMicros < 0 {
-		return fmt.Errorf("server: hit delay must be non-negative")
+		return badConfig("hit delay must be non-negative")
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -268,7 +269,17 @@ func marshalMeta(meta jobMeta) ([]byte, error) {
 	return json.MarshalIndent(meta, "", "  ")
 }
 
+// unmarshalStrict decodes JSON rejecting unknown fields and trailing
+// data, so a misspelled or foreign job meta file fails recovery
+// loudly instead of being silently half-read.
 func unmarshalStrict(data []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
-	return dec.Decode(v)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
 }

@@ -1,0 +1,209 @@
+// Command cvglint mechanically enforces the determinism contract
+// (internal/core/doc.go, "Static enforcement" section) with the
+// analyzer suite in internal/lint: maprange, wallclock, globalrand,
+// sentinelerr.
+//
+// It runs two ways:
+//
+//	cvglint ./...                    # standalone, loads via the go command
+//	go vet -vettool=$(which cvglint) ./...   # vet driver protocol
+//
+// The vet integration speaks the unitchecker command-line protocol —
+// -V=full for build caching, -flags for the flag handshake, and a
+// JSON vet.cfg naming one compilation unit — reimplemented on the
+// standard library so the tool builds without the x/tools module.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"imagecvg/internal/lint"
+	"imagecvg/internal/lint/analysis"
+	"imagecvg/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// Flag handshake: cvglint passes no flags through go vet.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runUnit(args[0])
+	default:
+		runStandalone(args)
+	}
+}
+
+// printVersion answers -V=full with the content-hash form cmd/go
+// expects from a devel tool: the hash keys vet's build cache, so a
+// rebuilt cvglint invalidates cached vet results.
+func printVersion() {
+	name, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(name); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("cvglint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// runStandalone loads packages through the go command and reports
+// findings as file:line:col lines, exiting 1 if any.
+func runStandalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvglint:", err)
+		os.Exit(2)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags := runSuite(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the unitchecker JSON config a build system (go vet)
+// hands the tool, one compilation unit per invocation.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile.
+func runUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err))
+	}
+	// The vetx output is cvglint's (empty) fact file: the analyzers
+	// are single-package, but go vet requires the output to exist to
+	// cache the action.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cvglint has no facts to compute.
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := &types.Config{
+		GoVersion: cfg.GoVersion,
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if resolved, ok := cfg.ImportMap[path]; ok {
+				path = resolved
+			}
+			return imp.Import(path)
+		}),
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatal(err)
+	}
+	writeVetx()
+
+	diags := runSuite(fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSuite applies every analyzer to one package and returns the
+// findings in file-position order.
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range lint.Analyzers() {
+		ds, err := analysis.Run(a, fset, files, pkg, info)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cvglint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+package main_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCvglint compiles the tool once per test binary.
+func buildCvglint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cvglint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cvglint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStandaloneFindsViolation drives the go-list loader path: the
+// fixture module holds one global-rand draw, the tool must exit 1 and
+// name it.
+func TestStandaloneFindsViolation(t *testing.T) {
+	bin := buildCvglint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = fixtureDir(t)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "shared global Source") {
+		t.Fatalf("missing globalrand diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bad.go:10") {
+		t.Fatalf("diagnostic not positioned at bad.go:10:\n%s", out)
+	}
+}
+
+// TestVetProtocolHandshake checks the two cmd/go probes: -V=full must
+// produce the "<name> version devel … buildID=…" shape the build
+// cache parses, and -flags must answer a JSON flag list.
+func TestVetProtocolHandshake(t *testing.T) {
+	bin := buildCvglint(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	if len(f) < 3 || f[1] != "version" || f[2] != "devel" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output not in cmd/go's expected shape: %q", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+}
+
+// TestUnitcheckerConfig drives the vet.cfg path the way go vet does:
+// a JSON config naming the fixture unit with export data for its
+// imports, expecting the diagnostic on stderr, exit 1, and the vetx
+// output file written for the build cache.
+func TestUnitcheckerConfig(t *testing.T) {
+	bin := buildCvglint(t)
+	dir := fixtureDir(t)
+
+	// Export data for the fixture's import graph, exactly what cmd/go
+	// would put in PackageFile.
+	listCmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "math/rand")
+	listCmd.Dir = dir
+	listOut, err := listCmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	packageFile := map[string]string{}
+	importMap := map[string]string{}
+	dec := json.NewDecoder(strings.NewReader(string(listOut)))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		importMap[p.ImportPath] = p.ImportPath
+	}
+
+	work := t.TempDir()
+	vetx := filepath.Join(work, "unit.vetx")
+	cfg := map[string]any{
+		"ID":          "badmod",
+		"Compiler":    "gc",
+		"Dir":         dir,
+		"ImportPath":  "badmod",
+		"GoVersion":   "go1.24",
+		"GoFiles":     []string{filepath.Join(dir, "bad.go")},
+		"ImportMap":   importMap,
+		"PackageFile": packageFile,
+		"VetxOnly":    false,
+		"VetxOutput":  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(work, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, cfgPath)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 from unit with a violation, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "shared global Source") {
+		t.Fatalf("missing diagnostic:\n%s", out)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx output not written: %v", err)
+	}
+
+	// The VetxOnly dependency pass must stay silent, succeed, and
+	// still write its output file.
+	cfg["VetxOnly"] = true
+	vetxOnly := filepath.Join(work, "deponly.vetx")
+	cfg["VetxOutput"] = vetxOnly
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, cfgPath).CombinedOutput(); err != nil {
+		t.Fatalf("VetxOnly pass failed: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(vetxOnly); err != nil {
+		t.Fatalf("VetxOnly output not written: %v", err)
+	}
+}

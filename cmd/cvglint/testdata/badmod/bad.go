@@ -1,0 +1,11 @@
+// Package badmod is the cvglint driver-test fixture: one globalrand
+// violation (the rule with module-wide scope, so no import-path
+// suffix games are needed).
+package badmod
+
+import "math/rand"
+
+// Draw consumes the shared global Source on purpose.
+func Draw() int {
+	return rand.Intn(6)
+}

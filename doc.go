@@ -142,6 +142,14 @@
 // and a shared query cache can span all trials of a configuration so
 // re-audits of one dataset amortize their HITs.
 //
+// The determinism contract underpinning all of the above is enforced
+// mechanically: cmd/cvglint is a vet-compatible static analyzer suite
+// (range-over-map in commit paths, wall-clock reads, global or
+// time-seeded rand, sentinel-error identity comparisons) run by CI
+// over the whole tree — see the "Static enforcement" section of
+// internal/core's package documentation for the rules and the
+// //lint:<rule> suppression syntax.
+//
 // The exported API is a thin façade; the implementation lives in
 // internal packages (core, pattern, dataset, crowd, classifier, ml,
 // experiment, sim) whose relevant types are re-exported here by alias.

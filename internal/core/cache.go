@@ -339,6 +339,7 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 	var missKeys []string
 	var owned map[string]bool
 	var waits map[string]*inflightCall
+	var waitCalls []*inflightCall
 
 	c.mu.Lock()
 	// Steal the key scratch for this round: the keys (arena bytes plus
@@ -369,6 +370,7 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 				waits = make(map[string]*inflightCall)
 			}
 			waits[string(key)] = call
+			waitCalls = append(waitCalls, call)
 			continue
 		}
 		c.countSet(&c.stats.Misses, req.Reverse)
@@ -399,7 +401,11 @@ func (c *CachingOracle) SetQueryBatch(reqs []SetRequest) ([]bool, error) {
 			c.settleSet(key, false, missErr)
 		}
 	}
-	for _, call := range waits {
+	// Wait in round-scan order (waitCalls, not the waits map): when
+	// several in-flight calls fail with different errors, the error
+	// this round surfaces must be the same on every run — map order
+	// would hand the retry classifier a different error each time.
+	for _, call := range waitCalls {
 		<-call.done
 		if call.err != nil && missErr == nil {
 			missErr = call.err
@@ -436,6 +442,7 @@ func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error)
 	var missIDs []dataset.ObjectID
 	var owned map[dataset.ObjectID]bool
 	var waits map[dataset.ObjectID]*inflightCall
+	var waitCalls []*inflightCall
 
 	c.mu.Lock()
 	for _, id := range ids {
@@ -454,6 +461,7 @@ func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error)
 				waits = make(map[dataset.ObjectID]*inflightCall)
 			}
 			waits[id] = call
+			waitCalls = append(waitCalls, call)
 			continue
 		}
 		c.stats.Misses.Point++
@@ -480,7 +488,9 @@ func (c *CachingOracle) PointQueryBatch(ids []dataset.ObjectID) ([][]int, error)
 			c.settlePoint(id, nil, missErr)
 		}
 	}
-	for _, call := range waits {
+	// Round-scan order, not map order: the surfaced error must be
+	// deterministic; see SetQueryBatch.
+	for _, call := range waitCalls {
 		<-call.done
 		if call.err != nil && missErr == nil {
 			missErr = call.err

@@ -301,3 +301,67 @@ func TestCachePointQueryReturnsCopies(t *testing.T) {
 		t.Error("cache handed out its internal label slice")
 	}
 }
+
+// perIDErrOracle blocks each PointQuery until released, then fails it
+// with a per-id error. Set queries are unused.
+type perIDErrOracle struct {
+	entered chan dataset.ObjectID
+	release chan struct{}
+	errs    map[dataset.ObjectID]error
+}
+
+func (o *perIDErrOracle) SetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return false, errors.New("unused")
+}
+func (o *perIDErrOracle) ReverseSetQuery(ids []dataset.ObjectID, g pattern.Group) (bool, error) {
+	return false, errors.New("unused")
+}
+func (o *perIDErrOracle) PointQuery(id dataset.ObjectID) ([]int, error) {
+	o.entered <- id
+	<-o.release
+	return nil, o.errs[id]
+}
+
+// TestCacheWaitErrorDeterministic pins the fix for a map-order leak
+// the cvglint maprange rule surfaced: when a batch waits on several
+// in-flight calls that fail with different errors, the error the
+// round reports must be the first in request-scan order — not
+// whichever the waits map yields first. The old code handed the retry
+// classifier a coin-flip between err1 and err2.
+func TestCacheWaitErrorDeterministic(t *testing.T) {
+	err1 := errors.New("cache test: owner one failed")
+	err2 := errors.New("cache test: owner two failed")
+	for round := 0; round < 10; round++ {
+		inner := &perIDErrOracle{
+			entered: make(chan dataset.ObjectID, 2),
+			release: make(chan struct{}),
+			errs:    map[dataset.ObjectID]error{1: err1, 2: err2},
+		}
+		c := NewCachingOracle(inner)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.PointQueryBatch([]dataset.ObjectID{1}) }()
+		go func() { defer wg.Done(); c.PointQueryBatch([]dataset.ObjectID{2}) }()
+		<-inner.entered
+		<-inner.entered // both owners in flight, both ids registered
+
+		var waiterErr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, waiterErr = c.PointQueryBatch([]dataset.ObjectID{1, 2})
+		}()
+		// The waiter's scan counts both ids as hits the moment it
+		// parks on the in-flight calls; only then may the owners fail.
+		for c.Stats().Hits.Point < 2 {
+		}
+		close(inner.release)
+		wg.Wait()
+		<-done
+
+		if !errors.Is(waiterErr, err1) {
+			t.Fatalf("round %d: waiter got %v, want the scan-order-first error %v", round, waiterErr, err1)
+		}
+	}
+}

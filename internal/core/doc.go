@@ -238,4 +238,41 @@
 // log are read-only for the duration of the call, and anything a
 // caller may retain (aggregated labels, batch answer slices) is
 // freshly allocated.
+//
+// # Static enforcement of the determinism contract
+//
+// Everything above — canonical commit order, seeded child RNGs,
+// frozen per-HIT draw transcripts, kill/resume byte-identity — is a
+// contract ordinary Go code can silently violate with one innocuous
+// line. The cvglint tool (cmd/cvglint, analyzers in internal/lint)
+// checks the four violations that have actually threatened it,
+// mechanically, on every build:
+//
+//   - maprange: a range over a map in a canonical-commit package
+//     (internal/core, internal/server, internal/journal,
+//     internal/crowd) iterates in a different order every run. Collect
+//     the keys and sort them before acting, or — when the loop body is
+//     provably commutative — annotate it.
+//   - wallclock: time.Now / time.Since / time.Until in a commit,
+//     audit, or replay path makes round composition a function of the
+//     wall clock, which breaks resume identity. Timing must derive
+//     from committed state; the HTTP/SSE layer
+//     (internal/server/http.go) and test files are exempt.
+//   - globalrand: package-level math/rand draws consume the shared
+//     global Source, and time-seeded sources produce a different draw
+//     transcript every run. All randomness must flow from seeded child
+//     RNGs split from the experiment seed.
+//   - sentinelerr: == or != (or a switch case) against an exported
+//     sentinel error (ErrBudgetExhausted, ErrJournalCorrupt,
+//     ErrJournalMismatch, ErrTransient, ErrTenantBudget,
+//     ErrInvalidConfig, …) breaks as soon as middleware wraps the
+//     error; errors.Is is required.
+//
+// A justified finding is suppressed with a //lint:<rule> directive
+// (rules: ordered, wallclock, rand, sentinel) on the flagged line or
+// the line above, followed by a one-line justification — a bare
+// directive with no justification is itself a diagnostic. Run it
+// standalone as `cvglint ./...` or through the build cache as
+// `go vet -vettool=$(pwd)/bin/cvglint ./...`; CI does both the vet
+// form and the analyzers' own corpus tests on every change.
 package core

@@ -241,6 +241,7 @@ func (l *LabeledSet) Len() int { return len(l.labels) }
 // Count returns L.count(g): how many labeled objects belong to g.
 func (l *LabeledSet) Count(g pattern.Group) int {
 	n := 0
+	//lint:ordered commutative integer count; no per-element effects escape the loop
 	for _, labels := range l.labels {
 		if g.Matches(labels) {
 			n++

@@ -473,6 +473,7 @@ func (t *TrustOracle) observe(reqs []SetRequest, answers []bool, probe *GoldProb
 // cannot affect the outcome. Callers hold t.mu.
 func (t *TrustOracle) applyScreening() {
 	changed := false
+	//lint:ordered each worker's verdict is a pure function of its own tally; the screener feed below iterates sorted ids
 	for id, w := range t.stats {
 		if t.excluded[id] {
 			continue

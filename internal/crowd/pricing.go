@@ -77,6 +77,7 @@ func (l *Ledger) HITs(kind QueryKind) int { return l.hits[kind] }
 // cost metric.
 func (l *Ledger) TotalHITs() int {
 	total := 0
+	//lint:ordered commutative integer sum over per-kind counters
 	for _, n := range l.hits {
 		total += n
 	}

@@ -1,0 +1,85 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough surface for cvglint's
+// determinism-contract analyzers. The container this repository builds
+// in has no module proxy access, so the framework is reimplemented on
+// the standard library (go/ast, go/types) rather than imported. The
+// shapes mirror x/tools deliberately — an Analyzer written against
+// this package ports to the real framework by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named, documented check. Run inspects a single
+// type-checked package via the Pass and reports diagnostics through
+// pass.Report; the return value is unused by this driver but kept in
+// the signature for x/tools compatibility.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// A Pass hands one package's syntax and type information to an
+// analyzer. Unlike x/tools there are no facts or required analyzers:
+// every cvglint rule is a self-contained single-package check.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewTypesInfo returns a types.Info with every map populated, ready
+// for types.Config.Check. Both the cvglint driver and the test
+// harness type-check through this so analyzers can rely on full
+// Uses/Defs/Selections information.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// Run executes one analyzer over one package and returns the
+// diagnostics in report order.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return diags, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, nil
+}

@@ -1,0 +1,251 @@
+// Package analysistest runs a lint analyzer over a corpus of small
+// packages under testdata/src and checks the reported diagnostics
+// against // want comments, mirroring the x/tools analysistest
+// contract on the standard library alone. Corpus packages may import
+// each other (resolved from source under testdata/src, the GOPATH
+// convention) and the standard library (resolved through the go
+// command's export data).
+//
+// Expectations are written on the line the diagnostic lands on:
+//
+//	for k := range m { // want `iteration order is nondeterministic`
+//
+// Each quoted (double-quoted or backquoted) string after "want" is a
+// regexp that must match one diagnostic message on that line;
+// diagnostics with no matching expectation, and expectations with no
+// matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// stdExports memoizes export-data file locations for standard-library
+// packages across every Run in the process: one `go list` per new
+// import path, shared by all analyzer tests.
+var stdExports = struct {
+	sync.Mutex
+	files map[string]string
+}{files: map[string]string{}}
+
+// exportFile returns the export data file for a standard-library
+// import path, invoking `go list -deps -export` on first sight.
+func exportFile(path string) (string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if f, ok := stdExports.files[path]; ok {
+		return f, nil
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", path)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysistest: go list -export %s: %w", path, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if p, f, ok := strings.Cut(line, "\t"); ok && f != "" {
+			stdExports.files[p] = f
+		}
+	}
+	f, ok := stdExports.files[path]
+	if !ok {
+		return "", fmt.Errorf("analysistest: no export data for %q", path)
+	}
+	return f, nil
+}
+
+// loader type-checks corpus packages, resolving corpus-local imports
+// from source and everything else via export data.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	err   error
+}
+
+func newLoader(srcRoot string) *loader {
+	l := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*loadedPkg{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// Import implements types.Importer over the corpus: testdata-local
+// directories win, the standard library backs everything else.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, filepath.FromSlash(path)); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	// Warm the export cache with the package's deps before the gc
+	// importer asks for them one by one.
+	if _, err := exportFile(path); err != nil {
+		return nil, err
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// load parses and type-checks one corpus package (memoized).
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, p.err
+	}
+	p := &loadedPkg{}
+	l.pkgs[path] = p // memoize before Check so import cycles fail fast
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p, err
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("analysistest: no Go files in %s", dir)
+		return p, p.err
+	}
+	p.info = analysis.NewTypesInfo()
+	conf := &types.Config{Importer: l}
+	p.types, p.err = conf.Check(path, l.fset, p.files, p.info)
+	return p, p.err
+}
+
+// Run loads each corpus package under testdata/src, applies the
+// analyzer, and checks diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, pattern := range patterns {
+		pkg, err := l.load(pattern)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, pattern, err)
+			continue
+		}
+		diags, err := analysis.Run(a, l.fset, pkg.files, pkg.types, pkg.info)
+		if err != nil {
+			t.Errorf("%s: %s: %v", a.Name, pattern, err)
+			continue
+		}
+		check(t, a, l.fset, pkg.files, diags)
+	}
+}
+
+// expectation is one parsed want regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+// check compares diagnostics against want comments file by file.
+func check(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both comment forms carry expectations: // want …
+				// to end of line, and /* want … */ when the line
+				// already ends in another comment (e.g. a //lint:
+				// directive under test).
+				text := c.Text
+				if after, isBlock := strings.CutPrefix(text, "/*"); isBlock {
+					text = strings.TrimSuffix(after, "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					src := m[1]
+					if m[2] != "" {
+						src = m[2]
+					}
+					re, err := regexp.Compile(src)
+					if err != nil {
+						t.Errorf("%s: bad want regexp at %s: %v", a.Name, pos, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}

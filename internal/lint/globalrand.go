@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// GlobalRand flags randomness that escapes the seeded child-RNG tree,
+// anywhere in the module outside test files:
+//
+//   - package-level math/rand (and math/rand/v2) draws — rand.Intn,
+//     rand.Perm, rand.Shuffle, rand.Seed, … — which consume the shared
+//     global Source, so concurrent audits interleave draws and no
+//     transcript is reproducible;
+//   - time-seeded sources — rand.New(rand.NewSource(time.Now()…)) and
+//     v2 equivalents — which are deterministic per run but different
+//     every run, breaking golden files and kill/resume byte-identity.
+//
+// All randomness must flow through *rand.Rand values seeded from the
+// audit's root seed (the PR 7/PR 8 RNG pins: the per-HIT draw
+// transcript is frozen). Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, v2's NewPCG/NewChaCha8) are allowed when their seeds
+// are derived values. Suppress with //lint:rand <why>.
+var GlobalRand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand draws and time-seeded RNG sources",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are package-level math/rand functions that build
+// sources or generators rather than drawing from the global Source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalRand(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := directives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if !randConstructors[fn.Name()] {
+				if !suppressed(pass, dirs, sel.Pos(), "rand") {
+					pass.Reportf(sel.Pos(), "package-level %s.%s draws from the shared global Source: route randomness through a seeded *rand.Rand child or annotate //lint:rand <why>", fn.Pkg().Path(), fn.Name())
+				}
+				return true
+			}
+			return true
+		})
+		// Time-seeded constructors need the call context: flag any
+		// allowed constructor whose arguments read the wall clock.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) || !randConstructors[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if readsClock(pass, arg) {
+					if !suppressed(pass, dirs, call.Pos(), "rand") {
+						pass.Reportf(call.Pos(), "time-seeded %s.%s produces a different draw transcript every run: derive the seed from the audit's root seed or annotate //lint:rand <why>", fn.Pkg().Path(), fn.Name())
+					}
+					// Flag only the outermost constructor of a
+					// nested rand.New(rand.NewSource(time.Now()…)).
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// readsClock reports whether the expression contains a call to a
+// clock-reading time function.
+func readsClock(pass *analysis.Pass, expr ast.Expr) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

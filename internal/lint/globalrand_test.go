@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"imagecvg/internal/lint"
+	"imagecvg/internal/lint/analysistest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GlobalRand, "globalrand/a")
+}

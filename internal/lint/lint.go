@@ -1,0 +1,161 @@
+// Package lint holds cvglint's analyzers: mechanical enforcement of
+// the determinism contract documented in internal/core/doc.go and
+// ROADMAP.md. Every rule exists because one class of Go construct has
+// already bitten (or would silently bite) replay identity — map
+// iteration order, wall-clock reads in journaled paths, global RNG
+// draws outside the seeded child-RNG tree, and sentinel-error
+// comparisons that stop matching once middleware wraps the error.
+//
+// Suppression syntax: a finding is silenced by a directive comment
+//
+//	//lint:<rule> <justification>
+//
+// placed on the flagged line or the line directly above it, where
+// <rule> names the analyzer (ordered for maprange, wallclock, rand
+// for globalrand, sentinel for sentinelerr) and <justification> is a
+// non-empty explanation of why the construct is deterministic (or why
+// identity comparison is correct). A directive without a
+// justification is itself a diagnostic: the ordering argument is the
+// point of the annotation.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// CommitPackages are the canonical-commit packages: everything that
+// runs between "a round is formed" and "a round is journaled" must be
+// a pure function of committed state, so ordering rules (maprange,
+// wallclock) apply only here. Matching is by exact import path or by
+// "/"-separated suffix, so both "imagecvg/internal/core" and a test
+// corpus package named "internal/core" are in scope.
+var CommitPackages = []string{
+	"internal/core",
+	"internal/server",
+	"internal/journal",
+	"internal/crowd",
+}
+
+// Analyzers returns the full cvglint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapRange, WallClock, GlobalRand, SentinelErr}
+}
+
+// inCommitPackage reports whether pkgPath is one of the
+// canonical-commit packages.
+func inCommitPackage(pkgPath string) bool {
+	for _, p := range CommitPackages {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// fileHasSuffix reports whether the file holding pos ends with one of
+// the slash-separated path suffixes in allow.
+func fileHasSuffix(fset *token.FileSet, pos token.Pos, allow []string) bool {
+	name := filepath.ToSlash(fset.Position(pos).Filename)
+	for _, suffix := range allow {
+		if name == suffix || strings.HasSuffix(name, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// A directive is one parsed //lint:<rule> comment.
+type directive struct {
+	rule string
+	why  string
+	pos  token.Pos
+}
+
+// directives collects every //lint: comment in the file, keyed by the
+// line it occupies. A directive suppresses findings on its own line
+// (trailing comment) and on the line below it (comment above the
+// statement).
+func directives(fset *token.FileSet, file *ast.File) map[int]directive {
+	out := make(map[int]directive)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			rule, why, _ := strings.Cut(text, " ")
+			out[fset.Position(c.Pos()).Line] = directive{
+				rule: rule,
+				why:  strings.TrimSpace(why),
+				pos:  c.Pos(),
+			}
+		}
+	}
+	return out
+}
+
+// suppressed checks for a rule directive covering pos. If the
+// directive exists but carries no justification, it reports that as a
+// finding instead of honoring it.
+func suppressed(pass *analysis.Pass, dirs map[int]directive, pos token.Pos, rule string) bool {
+	line := pass.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		d, ok := dirs[l]
+		if !ok || d.rule != rule {
+			continue
+		}
+		if d.why == "" {
+			pass.Reportf(d.pos, "//lint:%s directive needs a justification: //lint:%s <why>", rule, rule)
+		}
+		return true
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost *ast.FuncDecl or *ast.FuncLit
+// whose body contains pos, or nil if pos is not inside a function.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	var bestSize token.Pos = 1 << 60
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil || pos < body.Pos() || pos >= body.End() {
+			return true
+		}
+		if size := body.End() - body.Pos(); size < bestSize {
+			bestSize = size
+			best = n
+		}
+		return true
+	})
+	return best
+}
+
+// funcBody returns the body of a node returned by enclosingFunc.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// MapRange flags `range` over a map inside the canonical-commit
+// packages. Go randomizes map iteration order per run, so any map
+// range on a path that forms, commits, journals, or replays audit
+// rounds is a replay-identity leak: the same audit produces a
+// different HIT transcript on the next run.
+//
+// Two shapes are accepted without annotation:
+//
+//   - a pure collection loop — every statement in the body appends to
+//     one or more slices — followed later in the same function by a
+//     sort call on one of the collected slices (the canonical
+//     collect-keys-then-sort idiom);
+//   - a loop annotated //lint:ordered <why>, where <why> states the
+//     argument for order-independence.
+//
+// Test files are exempt: the contract governs production commit
+// paths, and the conformance suites already pin test determinism.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flags nondeterministic map iteration in canonical-commit packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (any, error) {
+	if !inCommitPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := directives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if suppressed(pass, dirs, rs.Pos(), "ordered") {
+				return true
+			}
+			if collected := collectTargets(pass, rs); collected != nil {
+				if sortFollows(pass, file, rs, collected) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "map keys collected from range over %s but never sorted in this function; sort the collected slice or annotate //lint:ordered <why>", types.ExprString(rs.X))
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s in a canonical-commit package: iteration order is nondeterministic; collect and sort the keys first or annotate //lint:ordered <why>", types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectTargets reports whether the range body is a pure collection
+// loop — every statement an append into a slice — and returns the
+// objects of the slices appended to. A nil return means the loop does
+// something other than collect.
+func collectTargets(pass *analysis.Pass, rs *ast.RangeStmt) []types.Object {
+	if len(rs.Body.List) == 0 {
+		return nil
+	}
+	var targets []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+			return nil
+		}
+		if len(call.Args) == 0 {
+			return nil
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[first] != pass.TypesInfo.ObjectOf(lhs) {
+			return nil
+		}
+		targets = append(targets, pass.TypesInfo.ObjectOf(lhs))
+	}
+	return targets
+}
+
+// sortFollows reports whether, after the range statement and inside
+// the same function, some sort or slices call takes one of the
+// collected slices as an argument.
+func sortFollows(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, collected []types.Object) bool {
+	fn := enclosingFunc(file, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody(fn), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		f, ok := obj.(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsAny(pass, arg, collected) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsAny reports whether the expression references any of the
+// given objects.
+func mentionsAny(pass *analysis.Pass, expr ast.Expr, objs []types.Object) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := pass.TypesInfo.Uses[id]
+		for _, o := range objs {
+			if use == o {
+				hit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"imagecvg/internal/lint"
+	"imagecvg/internal/lint/analysistest"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapRange,
+		"maprange/internal/core", // in scope: good, bad, suppressed shapes
+		"maprange/other",         // out of scope: silent
+	)
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// SentinelErr flags `==` / `!=` comparisons (and switch cases) against
+// exported sentinel error variables — package-level vars named Err*
+// with an error type, such as core.ErrBudgetExhausted or
+// server.ErrTenantBudget. The middleware stack (cache → trust →
+// journal → governor → platform) wraps errors as they propagate, so a
+// raw identity comparison silently stops matching the moment a layer
+// adds context; errors.Is is required everywhere a sentinel crosses a
+// wrapping-capable boundary. The rule applies in test files too —
+// tests exercise the wrapped paths.
+//
+// Exemptions: comparisons inside an `Is(error) bool` method (that is
+// the one place identity comparison is the idiom, it is what
+// errors.Is calls), and lines annotated //lint:sentinel <why>.
+var SentinelErr = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "flags raw ==/!= comparisons against sentinel errors where errors.Is is required",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		dirs := directives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				sentinel := sentinelName(pass, e.X)
+				if sentinel == "" {
+					sentinel = sentinelName(pass, e.Y)
+				}
+				if sentinel == "" || inIsMethod(pass, file, e.Pos()) || suppressed(pass, dirs, e.Pos(), "sentinel") {
+					return true
+				}
+				pass.Reportf(e.Pos(), "sentinel error %s compared with %s: middleware wraps errors, use errors.Is", sentinel, e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(e.Tag)
+				if t == nil || !isErrorType(t) {
+					return true
+				}
+				for _, stmt := range e.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						sentinel := sentinelName(pass, expr)
+						if sentinel == "" || inIsMethod(pass, file, expr.Pos()) || suppressed(pass, dirs, expr.Pos(), "sentinel") {
+							continue
+						}
+						pass.Reportf(expr.Pos(), "sentinel error %s in a switch case compares by identity: middleware wraps errors, use if/else with errors.Is", sentinel)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelName returns the printed name of the sentinel error the
+// expression refers to, or "" if it is not a sentinel reference. A
+// sentinel is a package-level var whose name starts with Err and
+// whose type is (or implements) error.
+func sentinelName(pass *analysis.Pass, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if len(v.Name()) < 4 || v.Name()[:3] != "Err" {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	return types.ExprString(expr)
+}
+
+// isErrorType reports whether t is the error interface or implements
+// it.
+func isErrorType(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// inIsMethod reports whether pos sits inside a method named Is with
+// signature func(error) bool — the errors.Is hook, where identity
+// comparison against sentinels is the idiom being implemented.
+func inIsMethod(pass *analysis.Pass, file *ast.File, pos token.Pos) bool {
+	fd, ok := enclosingFunc(file, pos).(*ast.FuncDecl)
+	if !ok || fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	sig, ok := pass.TypesInfo.ObjectOf(fd.Name).Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorType(sig.Params().At(0).Type()) && types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

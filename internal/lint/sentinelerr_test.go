@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"imagecvg/internal/lint"
+	"imagecvg/internal/lint/analysistest"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SentinelErr,
+		"sentinelerr/a", // local sentinels: ==, !=, switch, Is-method, suppression
+		"sentinelerr/b", // cross-package selector references
+	)
+}

@@ -1,0 +1,51 @@
+// Corpus for the globalrand analyzer: scope is the whole module, so
+// any non-test package exercises the rule.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `shared global Source`
+}
+
+func globalSeed() {
+	rand.Seed(42) // want `shared global Source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `shared global Source`
+}
+
+func globalDrawV2() int {
+	return randv2.IntN(10) // want `shared global Source`
+}
+
+func drawAsValue() func() float64 {
+	return rand.Float64 // want `shared global Source`
+}
+
+func seededChild(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func methodDrawsAreFine(r *rand.Rand) []int {
+	return r.Perm(4)
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded math/rand.New`
+}
+
+func timeSeededV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(time.Now().UnixNano()), 7)) // want `time-seeded math/rand/v2.New`
+}
+
+func suppressedDraw() int {
+	//lint:rand demo jitter outside every audit path
+	return rand.Intn(3)
+}

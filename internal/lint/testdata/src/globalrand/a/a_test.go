@@ -1,0 +1,8 @@
+package a
+
+import "math/rand"
+
+// Test files may draw from the global Source.
+func fuzzSeedHelper() int {
+	return rand.Intn(100)
+}

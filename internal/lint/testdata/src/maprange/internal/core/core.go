@@ -1,0 +1,107 @@
+// Corpus for the maprange analyzer: package path ends in
+// internal/core, so the canonical-commit scope applies.
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+// Counts is a named map type; the rule sees through it.
+type Counts map[string]int
+
+// tally is an alias; the rule sees through it too.
+type tally = map[string]int
+
+func plainRange(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `iteration order is nondeterministic`
+		n += v
+	}
+	return n
+}
+
+func namedType(c Counts) {
+	for k := range c { // want `iteration order is nondeterministic`
+		_ = k
+	}
+}
+
+func aliasType(t tally) {
+	for k := range t { // want `iteration order is nondeterministic`
+		_ = k
+	}
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortBeforeNotAfter(m map[string]int) []string {
+	var keys []string
+	sort.Strings(keys)
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func collectThenSlicesSort(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+func sliceRangeIsFine(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+func suppressedAbove(m map[string]int) int {
+	n := 0
+	//lint:ordered commutative integer sum
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressedTrailing(m map[string]int) {
+	for k := range m { //lint:ordered delete during range is order-free
+		delete(m, k)
+	}
+}
+
+func directiveNeedsWhy(m map[string]int) {
+	/* want `needs a justification` */ //lint:ordered
+	for range m {
+	}
+}

@@ -1,0 +1,11 @@
+package core
+
+// Test files are exempt: the contract governs production commit
+// paths.
+func helperForTests(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,71 @@
+// Corpus for the sentinelerr analyzer: sentinel definitions plus
+// every comparison shape in one package.
+package a
+
+import "errors"
+
+var (
+	ErrBudgetExhausted = errors.New("budget exhausted")
+	ErrTransient       = errors.New("transient")
+	errShortBatch      = errors.New("short batch") // unexported: not a sentinel
+)
+
+func rawEq(err error) bool {
+	return err == ErrBudgetExhausted // want `use errors.Is`
+}
+
+func rawNeq(err error) bool {
+	return err != ErrTransient // want `use errors.Is`
+}
+
+func sentinelOnLeft(err error) bool {
+	return ErrBudgetExhausted == err // want `use errors.Is`
+}
+
+func errorsIsIsTheIdiom(err error) bool {
+	return errors.Is(err, ErrBudgetExhausted)
+}
+
+func nilChecksAreFine(err error) bool {
+	return err == nil
+}
+
+func unexportedIsNotASentinel(err error) bool {
+	return err == errShortBatch
+}
+
+func switchOnErr(err error) int {
+	switch err {
+	case ErrBudgetExhausted: // want `switch case compares by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func switchWithInit() int {
+	switch err := work(); err {
+	case ErrTransient: // want `switch case compares by identity`
+		return 1
+	default:
+		return 0
+	}
+}
+
+func work() error { return nil }
+
+type wrapped struct{ inner error }
+
+func (w wrapped) Error() string { return "wrapped: " + w.inner.Error() }
+
+// Is is the errors.Is hook: identity comparison against sentinels is
+// exactly what this method exists to implement.
+func (w wrapped) Is(target error) bool {
+	return target == ErrTransient
+}
+
+func suppressedCmp(err error) bool {
+	//lint:sentinel unwrapped fast path, identity is the contract here
+	return err == ErrBudgetExhausted
+}

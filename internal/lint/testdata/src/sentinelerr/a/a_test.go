@@ -1,0 +1,7 @@
+package a
+
+// The rule applies in test files too: tests exercise the wrapped
+// middleware paths.
+func assertBudget(err error) bool {
+	return err == ErrBudgetExhausted // want `use errors.Is`
+}

@@ -1,0 +1,17 @@
+// Package b imports the sentinels cross-package: selector references
+// are flagged the same as local identifiers.
+package b
+
+import (
+	"errors"
+
+	"sentinelerr/a"
+)
+
+func rawCrossPackage(err error) bool {
+	return err == a.ErrBudgetExhausted // want `sentinel error a\.ErrBudgetExhausted compared with ==`
+}
+
+func goodCrossPackage(err error) bool {
+	return errors.Is(err, a.ErrTransient)
+}

@@ -1,0 +1,39 @@
+// Corpus for the wallclock analyzer: in-scope commit package.
+package core
+
+import "time"
+
+func readsNow() time.Time {
+	return time.Now() // want `wall-clock reads break resume identity`
+}
+
+func readsSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock reads break resume identity`
+}
+
+func readsUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `wall-clock reads break resume identity`
+}
+
+func nowAsValue() func() time.Time {
+	return time.Now // want `wall-clock reads break resume identity`
+}
+
+// Duration-fed timers are caller-deterministic, not clock reads.
+func timerIsFine(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// A method named Now on a local type is not time.Now.
+type fakeClock struct{ t time.Time }
+
+func (c fakeClock) Now() time.Time { return c.t }
+
+func usesFakeClock(c fakeClock) time.Time {
+	return c.Now()
+}
+
+func suppressedRead() time.Time {
+	//lint:wallclock harness-local timestamp, never journaled
+	return time.Now()
+}

@@ -1,0 +1,8 @@
+package core
+
+import "time"
+
+// Test files may read the clock freely.
+func stamp() time.Time {
+	return time.Now()
+}

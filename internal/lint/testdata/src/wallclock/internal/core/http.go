@@ -1,0 +1,10 @@
+package core
+
+import "time"
+
+// The allowlist entry is the full path suffix internal/server/http.go
+// — a file merely named http.go in another commit package stays in
+// scope.
+func notTheServerHTTPLayer() time.Time {
+	return time.Now() // want `wall-clock reads break resume identity`
+}

@@ -1,0 +1,9 @@
+// The allowlist is per-file: the rest of internal/server stays in
+// scope.
+package server
+
+import "time"
+
+func engineClockRead() time.Time {
+	return time.Now() // want `wall-clock reads break resume identity`
+}

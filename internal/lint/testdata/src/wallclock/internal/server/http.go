@@ -1,0 +1,9 @@
+// The server's HTTP/SSE layer timestamps live traffic and is never
+// replayed: internal/server/http.go is on the wallclock allowlist.
+package server
+
+import "time"
+
+func liveTimestamp() time.Time {
+	return time.Now()
+}

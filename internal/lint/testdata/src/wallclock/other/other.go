@@ -1,0 +1,8 @@
+// Package other is outside the canonical-commit scope.
+package other
+
+import "time"
+
+func freeClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagecvg/internal/lint/analysis"
+)
+
+// WallClock flags wall-clock reads — time.Now, time.Since, time.Until
+// — inside the canonical-commit packages. A clock read on a journaled
+// path makes resume diverge from the original run: replay delivers
+// the recorded rounds instantly, so anything derived from "now" takes
+// a different value the second time. Durations and timers fed by
+// caller-supplied values (retry backoff) are fine; reading the clock
+// is not.
+//
+// Exemptions: _test.go files, the files in WallClockAllowed (the
+// server's HTTP/SSE layer, which timestamps live traffic and is never
+// replayed), and lines annotated //lint:wallclock <why>. The
+// internal/experiment timing Recorder is outside CommitPackages
+// entirely, so it needs no entry here.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "flags wall-clock reads in audit/commit/replay paths",
+	Run:  runWallClock,
+}
+
+// WallClockAllowed lists slash-separated file-path suffixes exempt
+// from the wallclock rule even though their package is in scope.
+var WallClockAllowed = []string{
+	"internal/server/http.go",
+}
+
+// wallClockFuncs are the time-package functions that read the clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *analysis.Pass) (any, error) {
+	if !inCommitPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) || fileHasSuffix(pass.Fset, file.Pos(), WallClockAllowed) {
+			continue
+		}
+		dirs := directives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if suppressed(pass, dirs, sel.Pos(), "wallclock") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s in a canonical-commit package: wall-clock reads break resume identity; derive timing from committed state or annotate //lint:wallclock <why>", fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"imagecvg/internal/lint"
+	"imagecvg/internal/lint/analysistest"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock,
+		"wallclock/internal/core",   // in scope, incl. a non-server http.go
+		"wallclock/internal/server", // allowlisted http.go vs flagged engine.go
+		"wallclock/other",           // out of scope: silent
+	)
+}

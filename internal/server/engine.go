@@ -480,6 +480,7 @@ func (e *Engine) finish(j *job, state JobState, res *JobResult, err error) {
 	j.subs = nil
 	close(j.done)
 	j.mu.Unlock()
+	//lint:ordered closes distinct channels; no subscriber observes another's close order
 	for _, ch := range subs {
 		close(ch)
 	}
@@ -641,6 +642,7 @@ func (e *Engine) Subscribe(id string) (<-chan Event, func(), error) {
 // terminal handshake is the channel close in finish).
 func (e *Engine) publish(j *job, ev Event) {
 	j.mu.Lock()
+	//lint:ordered non-blocking sends to distinct advisory channels; SSE ordering per subscriber is preserved
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:

@@ -172,6 +172,12 @@ func TestWriteErrorCodes(t *testing.T) {
 		{fmt.Errorf("job-000042: %w", ErrNotFound), http.StatusNotFound},
 		{fmt.Errorf("%w: tenant %q", ErrTenantBudget, "acme"), http.StatusTooManyRequests},
 		{ErrClosed, http.StatusServiceUnavailable},
+		// Every sentinel must keep matching through wrapping — the
+		// cvglint sentinelerr rule bans the raw == that would silently
+		// break these mappings — including a double-wrapped chain.
+		{fmt.Errorf("normalize: %w", ErrInvalidConfig), http.StatusBadRequest},
+		{fmt.Errorf("shutting down: %w", ErrClosed), http.StatusServiceUnavailable},
+		{fmt.Errorf("submit: %w", fmt.Errorf("tenant acme: %w", ErrTenantBudget)), http.StatusTooManyRequests},
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
